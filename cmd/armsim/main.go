@@ -1,0 +1,158 @@
+// Command armsim runs an integrated resource-management scenario: a
+// population of portables random-walks over a chosen topology while each
+// holds a QoS-bounded connection; the full control loop (admission,
+// prediction, advance reservation, adaptation, handoff) runs on the
+// discrete-event simulator and the final metrics are printed.
+//
+// Usage:
+//
+//	armsim -topology campus -portables 24 -duration 3600 -mode predictive
+//	armsim -topology figure4 -mode brute-force -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"armnet"
+	"armnet/internal/mobility"
+	"armnet/internal/randx"
+	"armnet/internal/stats"
+)
+
+// tracePath, when set, replays a CSV trace instead of generating one.
+var tracePath string
+
+func main() {
+	topo := flag.String("topology", "campus", "topology: campus, figure4, meetingwing, corridor")
+	portables := flag.Int("portables", 24, "number of portables")
+	duration := flag.Float64("duration", 3600, "simulated seconds")
+	dwell := flag.Float64("dwell", 180, "mean cell dwell time (s)")
+	seed := flag.Int64("seed", 1, "random seed")
+	modeName := flag.String("mode", "predictive", "reservation mode: predictive, brute-force, none")
+	topoFile := flag.String("topology-file", "", "build the environment from a JSON spec instead of a named topology")
+	bmin := flag.Float64("bmin", 32e3, "connection b_min (bits/s)")
+	bmax := flag.Float64("bmax", 128e3, "connection b_max (bits/s)")
+	flag.StringVar(&tracePath, "trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
+	flag.Parse()
+
+	if err := run(*topo, *topoFile, *portables, *duration, *dwell, *seed, *modeName, *bmin, *bmax); err != nil {
+		fmt.Fprintln(os.Stderr, "armsim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(topo, topoFile string, portables int, duration, dwell float64, seed int64, modeName string, bmin, bmax float64) error {
+	var env *armnet.Environment
+	var err error
+	if topoFile != "" {
+		f, ferr := os.Open(topoFile)
+		if ferr != nil {
+			return ferr
+		}
+		defer f.Close()
+		env, err = armnet.EnvironmentFromJSON(f)
+		topo = topoFile
+	} else {
+		switch topo {
+		case "campus":
+			env, err = armnet.BuildCampus()
+		case "figure4":
+			env, err = armnet.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
+		case "meetingwing":
+			env, err = armnet.BuildMeetingWing(1.6e6)
+		case "corridor":
+			env, err = armnet.BuildCorridor(6, 1.6e6)
+		default:
+			return fmt.Errorf("unknown topology %q", topo)
+		}
+	}
+	if err != nil {
+		return err
+	}
+	var mode = armnet.ModePredictive
+	switch modeName {
+	case "predictive":
+	case "brute-force":
+		mode = armnet.ModeBruteForce
+	case "none":
+		mode = armnet.ModeNone
+	default:
+		return fmt.Errorf("unknown mode %q", modeName)
+	}
+
+	net, err := armnet.NewNetwork(env, armnet.Config{Seed: seed, Mode: mode})
+	if err != nil {
+		return err
+	}
+
+	// Mobility: replay a recorded trace, or generate a random walk.
+	var trace *mobility.Trace
+	if tracePath != "" {
+		f, err := os.Open(tracePath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		trace, err = mobility.ReadCSV(f)
+		if err != nil {
+			return err
+		}
+		if d := trace.Duration(); d > duration {
+			duration = d
+		}
+	} else {
+		names := make([]string, portables)
+		for i := range names {
+			names[i] = fmt.Sprintf("p%02d", i)
+		}
+		var err error
+		trace, err = mobility.RandomWalk(env.Universe, names, dwell, duration, randx.New(seed+1))
+		if err != nil {
+			return err
+		}
+	}
+	req := armnet.Request{
+		Bandwidth: armnet.Bounds{Min: bmin, Max: bmax},
+		Delay:     5, Jitter: 5, Loss: 0.05,
+		Traffic: armnet.TrafficSpec{Sigma: bmin / 4, Rho: bmin},
+	}
+	for _, mv := range trace.Moves {
+		mv := mv
+		net.Schedule(mv.Time, func() {
+			if mv.From == "" {
+				if err := net.PlacePortable(mv.Portable, mv.To); err == nil {
+					_, _ = net.OpenConnection(mv.Portable, req)
+				}
+				return
+			}
+			_ = net.HandoffPortable(mv.Portable, mv.To)
+		})
+	}
+	if err := net.RunUntil(duration); err != nil {
+		return err
+	}
+
+	m := net.Metrics()
+	fmt.Printf("topology=%s portables=%d duration=%.0fs mode=%s seed=%d\n",
+		topo, portables, duration, mode, seed)
+	tb := stats.Table{Header: []string{"metric", "value"}}
+	for _, name := range m.Counter.Names() {
+		tb.AddRow(name, m.Counter.Get(name))
+	}
+	fmt.Print(tb.String())
+	if tried := m.Counter.Get(armnet.CtrHandoffTried); tried > 0 {
+		fmt.Printf("handoff drop rate: %.4f\n", m.Counter.Ratio(armnet.CtrHandoffDropped, armnet.CtrHandoffTried))
+	}
+	mgr := net.Manager()
+	if mgr.Latency.Predicted.N()+mgr.Latency.Unpredicted.N() > 0 {
+		fmt.Printf("handoff latency: predicted %.1fms (n=%d), unpredicted %.1fms (n=%d)\n",
+			mgr.Latency.Predicted.Mean()*1e3, mgr.Latency.Predicted.N(),
+			mgr.Latency.Unpredicted.Mean()*1e3, mgr.Latency.Unpredicted.N())
+	}
+	if req := m.Counter.Get(armnet.CtrNewRequested); req > 0 {
+		fmt.Printf("new-connection block rate: %.4f\n", m.Counter.Ratio(armnet.CtrNewBlocked, armnet.CtrNewRequested))
+	}
+	return nil
+}

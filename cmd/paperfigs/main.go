@@ -1,0 +1,230 @@
+// Command paperfigs regenerates every table and figure of the paper's
+// evaluation section and prints the same rows/series the paper reports.
+//
+// Usage:
+//
+//	paperfigs -exp all            # run everything
+//	paperfigs -exp fig5 -seed 7   # one experiment, chosen seed
+//	paperfigs -exp fig6 -horizon 400
+//
+// Experiments: table1, table2, fig2, fig4, fig5, fig6, theorem1, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"armnet"
+	"armnet/internal/profile"
+	"armnet/internal/sched"
+	"armnet/internal/stats"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig4, fig5, fig6, theorem1, all")
+	seed := flag.Int64("seed", 1, "random seed")
+	horizon := flag.Float64("horizon", 200, "figure-6 simulation horizon (seconds)")
+	walkBys := flag.Int("walkbys", 400, "figure-5 corridor through-traffic volume")
+	flag.Parse()
+
+	runners := map[string]func() error{
+		"table1":   func() error { return table1(*seed) },
+		"table2":   table2,
+		"fig2":     func() error { return fig2(*seed) },
+		"fig4":     func() error { return fig4(*seed) },
+		"fig5":     func() error { return fig5(*seed, *walkBys) },
+		"fig6":     func() error { return fig6(*seed, *horizon) },
+		"theorem1": func() error { return theorem1(*seed) },
+		"campus":   func() error { return campus(*seed) },
+		"bounds":   func() error { return bounds(*seed) },
+		"corridor": func() error { return corridor(*seed) },
+	}
+	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "theorem1", "campus", "bounds", "corridor"}
+
+	var toRun []string
+	if *exp == "all" {
+		toRun = order
+	} else {
+		for _, name := range strings.Split(*exp, ",") {
+			if _, ok := runners[name]; !ok {
+				fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", name, strings.Join(order, ", "))
+				os.Exit(2)
+			}
+			toRun = append(toRun, name)
+		}
+	}
+	for _, name := range toRun {
+		fmt.Printf("==== %s ====\n", name)
+		if err := runners[name](); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}
+
+// table1 builds live profiles on the campus and prints their contents per
+// cell class — the structure of the paper's Table 1.
+func table1(seed int64) error {
+	_ = seed
+	env, err := armnet.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
+	if err != nil {
+		return err
+	}
+	fmt.Println("cell profiles (type, handoff activity, contents):")
+	tb := stats.Table{Header: []string{"cell", "class", "omega(c)", "eta(c)"}}
+	for _, c := range env.Universe.Cells() {
+		occ := strings.Join(c.Occupants, ",")
+		if occ == "" {
+			occ = "-"
+		}
+		nbs := make([]string, 0)
+		for _, n := range c.Neighbors() {
+			nbs = append(nbs, string(n))
+		}
+		tb.AddRow(string(c.ID), c.Class.String(), occ, strings.Join(nbs, ","))
+	}
+	fmt.Print(tb.String())
+	// Portable-profile triplet demonstration.
+	pp := profile.NewPortableProfile("faculty", 100)
+	pp.Record(profile.Handoff{Portable: "faculty", Prev: "C", From: "D", To: "A"})
+	next, ok := pp.Predict("C", "D")
+	fmt.Printf("portable profile triplet: <prev=C, cur=D> -> next-prd-cell=%s (ok=%v)\n", next, ok)
+	return nil
+}
+
+func table2() error {
+	for _, d := range []sched.Discipline{sched.DisciplineWFQ, sched.DisciplineRCSP} {
+		r, err := armnet.RunTable2(armnet.Table2Config{Discipline: d})
+		if err != nil {
+			return err
+		}
+		fmt.Print(r.String())
+	}
+	return nil
+}
+
+func fig2(seed int64) error {
+	r, err := armnet.RunFigure2(armnet.Figure2Config{Seed: seed, Students: 40})
+	if err != nil {
+		return err
+	}
+	fmt.Println("handoff activity in a lounge (meeting room), per 5-minute slot:")
+	fmt.Print(r.String())
+	return nil
+}
+
+func fig4(seed int64) error {
+	r, err := armnet.RunFigure4(armnet.Figure4Config{Seed: seed})
+	if err != nil {
+		return err
+	}
+	fmt.Print(r.String())
+	return nil
+}
+
+func fig5(seed int64, walkBys int) error {
+	rs, err := armnet.RunFigure5Comparison(seed, walkBys)
+	if err != nil {
+		return err
+	}
+	tb := stats.Table{Header: []string{"students", "offered-load", "algorithm", "drops", "handoffs"}}
+	for _, r := range rs {
+		tb.AddRow(r.Students, fmt.Sprintf("%.0f%%", r.OfferedLoad*100), r.Algorithm.String(), r.Drops, r.HandoffAttempts)
+	}
+	fmt.Println("paper: 35 students @59% -> brute-force 2, aggregation 0, meeting-room 0 drops")
+	fmt.Println("       55 students @94% -> brute-force 7, aggregation 4, meeting-room 0 drops")
+	fmt.Print(tb.String())
+	// Figure 5(a): handoffs into the classroom around the start.
+	last := rs[len(rs)-1]
+	fmt.Println("fig 5(a): handoffs into the classroom per minute (55-student run):")
+	printSpark(last.IntoRoom, 50, 75)
+	fmt.Println("fig 5(c): handoffs out of the classroom per minute:")
+	printSpark(last.OutOfRoom, 100, 125)
+	return nil
+}
+
+func printSpark(series []int, lo, hi int) {
+	if hi > len(series) {
+		hi = len(series)
+	}
+	if lo < 0 || lo >= hi {
+		lo = 0
+	}
+	for i := lo; i < hi; i++ {
+		fmt.Printf("  min %3d |%s %d\n", i, strings.Repeat("#", series[i]), series[i])
+	}
+}
+
+func fig6(seed int64, horizon float64) error {
+	curves, err := armnet.RunFigure6Sweep(seed, nil, nil, horizon)
+	if err != nil {
+		return err
+	}
+	fmt.Println("P_d vs P_b family over the window T (paper: curves for small T dominate;")
+	fmt.Println("all curves coincide at large P_d):")
+	for _, c := range curves {
+		fmt.Printf("T = %v\n", c.T)
+		tb := stats.Table{Header: []string{"P_QOS", "P_d", "P_b", "mean-reserved"}}
+		for _, p := range c.Points {
+			tb.AddRow(p.PQoS, p.Pd, p.Pb, p.MeanReserved)
+		}
+		fmt.Print(tb.String())
+	}
+	return nil
+}
+
+// campus is the extension experiment: the integrated manager under the
+// three reservation modes on random-walk mobility.
+func campus(seed int64) error {
+	rs, err := armnet.RunCampusComparison(armnet.CampusConfig{Seed: seed, Portables: 24, Duration: 2400})
+	if err != nil {
+		return err
+	}
+	tb := stats.Table{Header: []string{"mode", "drop-rate", "block-rate", "reservations", "pool-claims", "pred-share", "lat-pred(ms)", "lat-unpred(ms)"}}
+	for _, r := range rs {
+		tb.AddRow(r.Mode.String(), r.DropRate, r.BlockRate, r.AdvanceReservations, r.PoolClaims,
+			r.PredictedShare, r.PredictedLatency*1e3, r.UnpredictedLatency*1e3)
+	}
+	fmt.Print(tb.String())
+	return nil
+}
+
+// bounds is the extension experiment quantifying §2.1: loose QoS bounds
+// vs rigid reservations on a fading wireless link.
+func bounds(seed int64) error {
+	loose, rigid, err := armnet.RunBounds(armnet.BoundsConfig{Seed: seed})
+	if err != nil {
+		return err
+	}
+	tb := stats.Table{Header: []string{"scenario", "admitted", "overcommit-time", "mean-utilization"}}
+	tb.AddRow("loose [b_min,b_max]", loose.Admitted, loose.OvercommitFraction, loose.MeanUtilization)
+	tb.AddRow("rigid (midpoint)", rigid.Admitted, rigid.OvercommitFraction, rigid.MeanUtilization)
+	fmt.Print(tb.String())
+	return nil
+}
+
+// corridor validates §6.1's linear-movement claim.
+func corridor(seed int64) error {
+	r, err := armnet.RunCorridor(seed, 6, 200)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("corridor linear prediction: %d transits, accuracy %.3f\n", r.Transits, r.Accuracy())
+	return nil
+}
+
+func theorem1(seed int64) error {
+	for _, refined := range []bool{false, true} {
+		r, err := armnet.RunTheorem1(armnet.Theorem1Config{
+			Seed: seed, Instances: 20, Refined: refined, Perturb: true,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Println(r.String())
+	}
+	return nil
+}

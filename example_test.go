@@ -1,0 +1,55 @@
+package armnet_test
+
+import (
+	"fmt"
+
+	"armnet"
+)
+
+// ExampleNetwork shows the core loop: place a portable, open a
+// QoS-bounded connection, let it adapt while static, and hand off.
+func ExampleNetwork() {
+	env, _ := armnet.BuildCampus()
+	net, _ := armnet.NewNetwork(env, armnet.Config{Seed: 42, Tth: 120})
+
+	_ = net.PlacePortable("alice", "off-1")
+	id, _ := net.OpenConnection("alice", armnet.Request{
+		Bandwidth: armnet.Bounds{Min: 64e3, Max: 256e3},
+		Delay:     2, Jitter: 2, Loss: 0.02,
+		Traffic: armnet.TrafficSpec{Sigma: 16e3, Rho: 64e3},
+	})
+	fmt.Printf("admitted at %.0f b/s\n", net.Connection(id).Bandwidth)
+
+	_ = net.RunUntil(300) // past T_th: alice is static, upgraded
+	fmt.Printf("%s portable at %.0f b/s\n",
+		net.Portable("alice").Mobility, net.Connection(id).Bandwidth)
+
+	_ = net.HandoffPortable("alice", "cor-w1")
+	fmt.Printf("after handoff: %.0f b/s in %s\n",
+		net.Connection(id).Bandwidth, net.Portable("alice").Cell)
+	// Output:
+	// admitted at 64000 b/s
+	// static portable at 256000 b/s
+	// after handoff: 64000 b/s in cor-w1
+}
+
+// ExampleRunTable2 regenerates the Table 2 admission rows for a 3-hop
+// path under WFQ.
+func ExampleRunTable2() {
+	r, _ := armnet.RunTable2(armnet.Table2Config{})
+	fmt.Printf("admitted=%v bandwidth=%.0f hops=%d\n",
+		r.Admitted, r.Bandwidth, len(r.Hops))
+	fmt.Printf("delay floor %.4fs within bound %.1fs\n",
+		r.DelayFloor, r.Config.Request.Delay)
+	// Output:
+	// admitted=true bandwidth=64000 hops=3
+	// delay floor 0.6408s within bound 2.0s
+}
+
+// ExampleErlangB evaluates the analytic blocking probability used to
+// validate the Figure 6 simulator.
+func ExampleErlangB() {
+	fmt.Printf("%.4f\n", armnet.ErlangB(6, 10))
+	// Output:
+	// 0.0431
+}

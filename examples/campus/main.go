@@ -1,0 +1,34 @@
+// Campus: the paper's Figure 4 environment with profile-based prediction.
+// Regular occupants commute between the corridor and their offices for a
+// simulated workweek; the profile servers learn their habits, and we
+// report how often the three-level predictor places the advance
+// reservation in the right cell — versus the brute-force baseline that
+// reserves in every neighbor.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armnet"
+)
+
+func main() {
+	res, err := armnet.RunFigure4(armnet.Figure4Config{Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("ECE-building workweek (calibrated to the paper's measured handoffs)")
+	fmt.Println()
+	fmt.Print(res.String())
+	fmt.Println()
+
+	waste := float64(res.Crowd.BruteForceCells) / float64(res.Crowd.ReservedCells)
+	fmt.Printf("brute force reserves %.1fx more cells than prediction for the anonymous crowd.\n", waste)
+	fmt.Println()
+	fmt.Println("paper's conclusions reproduced:")
+	fmt.Printf("  (a) deterministic reservation for office occupants is valid: faculty %.0f%%, students %.0f%% accurate\n",
+		res.Faculty.Accuracy()*100, res.Students.Accuracy()*100)
+	fmt.Printf("  (b) brute-force advance reservation in all neighbors is extremely wasteful (%.0fx)\n", waste)
+}

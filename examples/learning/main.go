@@ -1,0 +1,79 @@
+// Learning: the §6.4 learning process. A building is commissioned with no
+// cell classes configured — every cell starts unknown and uses the default
+// reservation algorithm. As portables move, the zone profile servers
+// aggregate handoffs; LearnClasses then infers each cell's class from its
+// behaviour: the office from its tiny regular population, the corridors
+// from their consistent pass-through movement.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armnet"
+)
+
+func main() {
+	// An unlabeled wing: in reality an office, two corridor segments and
+	// a lounge — but the network does not know that yet.
+	u := armnet.NewUniverse()
+	u.MustAddCell(armnet.Cell{ID: "room-1", Class: armnet.ClassUnknown, Capacity: 1.6e6,
+		Occupants: []string{"prof"}})
+	for _, id := range []armnet.CellID{"hall-1", "hall-2", "commons"} {
+		u.MustAddCell(armnet.Cell{ID: id, Class: armnet.ClassUnknown, Capacity: 1.6e6})
+	}
+	u.MustConnect("room-1", "hall-1")
+	u.MustConnect("hall-1", "hall-2")
+	u.MustConnect("hall-2", "commons")
+	bb, hosts, err := armnet.BuildBackbone(u, armnet.BackboneOptions{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	env := &armnet.Environment{Universe: u, Backbone: bb, Hosts: hosts}
+	net, err := armnet.NewNetwork(env, armnet.Config{Seed: 5})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("before observation:")
+	for _, c := range u.Cells() {
+		fmt.Printf("  %-8s %s\n", c.ID, c.Class)
+	}
+
+	// The professor commutes commons <-> room-1 through the halls, over
+	// and over; anonymous visitors pass through the halls both ways.
+	if err := net.PlacePortable("prof", "commons"); err != nil {
+		log.Fatal(err)
+	}
+	walk := func(id string, path ...armnet.CellID) {
+		for _, c := range path {
+			_ = net.HandoffPortable(id, c)
+		}
+	}
+	for day := 0; day < 25; day++ {
+		walk("prof", "hall-2", "hall-1", "room-1")
+		walk("prof", "hall-1", "hall-2", "commons")
+	}
+	for i := 0; i < 60; i++ {
+		id := fmt.Sprintf("visitor-%d", i)
+		if i%2 == 0 {
+			if err := net.PlacePortable(id, "commons"); err != nil {
+				log.Fatal(err)
+			}
+			walk(id, "hall-2", "hall-1")
+			walk(id, "hall-2", "commons")
+		} else {
+			if err := net.PlacePortable(id, "hall-1"); err != nil {
+				log.Fatal(err)
+			}
+			walk(id, "hall-2", "commons")
+		}
+		net.RemovePortable(id)
+	}
+
+	changed := net.LearnClasses()
+	fmt.Printf("\nlearning pass classified %d cells:\n", len(changed))
+	for _, c := range u.Cells() {
+		fmt.Printf("  %-8s %s\n", c.ID, c.Class)
+	}
+}

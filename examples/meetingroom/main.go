@@ -1,0 +1,94 @@
+// Meetingroom: the booking-calendar policy of §6.2.1 on the integrated
+// network. A meeting is registered in the campus meeting room; the base
+// station advance-reserves attendee slots ahead of the start, shrinks the
+// reservation as attendees arrive, and asks the neighbors to hold
+// bandwidth for the departures at the conclusion.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armnet"
+)
+
+func main() {
+	env, err := armnet.BuildCampus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := armnet.NewNetwork(env, armnet.Config{Seed: 3, SlotDuration: 60})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	const start, end = 1800.0, 3600.0
+	const attendees = 10
+	if err := net.RegisterMeeting("meet", armnet.Meeting{Start: start, End: end, Attendees: attendees}); err != nil {
+		log.Fatal(err)
+	}
+
+	mgr := net.Manager()
+	wireless := func(cell armnet.CellID) float64 {
+		bs := env.Universe.Cell(cell).BaseStation
+		return mgr.Ledger().Link(env.Backbone.Link(bs, armnet.AirNode(cell)).ID).AdvanceReserved
+	}
+	report := func(label string) {
+		room := wireless("meet")
+		var neighbors float64
+		for _, nid := range env.Universe.Cell("meet").Neighbors() {
+			neighbors += wireless(nid)
+		}
+		fmt.Printf("t=%5.0fs  %-28s room-reserved=%8.0f b/s  neighbor-reserved=%8.0f b/s\n",
+			net.Now(), label, room, neighbors)
+	}
+
+	// Attendees trickle in around the start.
+	for i := 0; i < attendees; i++ {
+		i := i
+		at := start - 300 + float64(i)*40
+		net.Schedule(at, func() {
+			id := fmt.Sprintf("att-%d", i)
+			if err := net.PlacePortable(id, "cor-e1"); err != nil {
+				return
+			}
+			// Each attendee carries a 16 kb/s audio connection.
+			_, _ = net.OpenConnection(id, armnet.Request{
+				Bandwidth: armnet.Bounds{Min: 16e3, Max: 64e3},
+				Delay:     5, Jitter: 5, Loss: 0.05,
+				Traffic: armnet.TrafficSpec{Sigma: 4e3, Rho: 16e3},
+			})
+			_ = net.HandoffPortable(id, "meet")
+		})
+	}
+	// And leave after the end.
+	for i := 0; i < attendees; i++ {
+		i := i
+		net.Schedule(end+30+float64(i)*20, func() {
+			_ = net.HandoffPortable(fmt.Sprintf("att-%d", i), "cor-e1")
+		})
+	}
+
+	checkpoints := []struct {
+		t     float64
+		label string
+	}{
+		{start - 700, "before the lead-in window"},
+		{start - 500, "lead-in: full N_m reserved"},
+		{start - 100, "most attendees arrived"},
+		{start + 400, "post-start release expired"},
+		{end - 100, "conclusion: neighbors reserve"},
+		{end + 1000, "end release expired"},
+	}
+	for _, cp := range checkpoints {
+		cp := cp
+		net.Schedule(cp.t, func() { report(cp.label) })
+	}
+	if err := net.RunUntil(end + 1200); err != nil {
+		log.Fatal(err)
+	}
+
+	m := net.Metrics().Counter
+	fmt.Printf("\nhandoffs: %d attempted, %d dropped\n",
+		m.Get(armnet.CtrHandoffTried), m.Get(armnet.CtrHandoffDropped))
+}

@@ -1,0 +1,58 @@
+// Quickstart: open a QoS-bounded connection, watch the network adapt it
+// between b_min and b_max as the portable settles (static) and moves
+// (mobile) — the paper's core loop in a dozen lines.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"armnet"
+)
+
+func main() {
+	env, err := armnet.BuildCampus()
+	if err != nil {
+		log.Fatal(err)
+	}
+	net, err := armnet.NewNetwork(env, armnet.Config{Seed: 42, Tth: 120})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Alice appears in her office and opens a video connection with
+	// loose QoS bounds: she needs at least 64 kb/s and can use 256 kb/s.
+	if err := net.PlacePortable("alice", "off-1"); err != nil {
+		log.Fatal(err)
+	}
+	id, err := net.OpenConnection("alice", armnet.Request{
+		Bandwidth: armnet.Bounds{Min: 64e3, Max: 256e3},
+		Delay:     2, Jitter: 2, Loss: 0.02,
+		Traffic: armnet.TrafficSpec{Sigma: 16e3, Rho: 64e3},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%4.0fs admitted at %6.0f b/s (mobile: held at b_min)\n",
+		net.Now(), net.Connection(id).Bandwidth)
+
+	// After T_th seconds in one cell Alice is classified static and the
+	// adaptation protocol upgrades her toward b_max.
+	if err := net.RunUntil(300); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%4.0fs %s, allocation %6.0f b/s (upgraded toward b_max)\n",
+		net.Now(), net.Portable("alice").Mobility, net.Connection(id).Bandwidth)
+
+	// She walks into the corridor: the handoff keeps the connection alive
+	// at its guaranteed minimum.
+	if err := net.HandoffPortable("alice", "cor-w1"); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("t=%4.0fs handed off to %s, allocation %6.0f b/s (back to b_min)\n",
+		net.Now(), net.Portable("alice").Cell, net.Connection(id).Bandwidth)
+
+	m := net.Metrics().Counter
+	fmt.Printf("handoffs: %d ok, %d dropped; adaptation updates: %d\n",
+		m.Get(armnet.CtrHandoffOK), m.Get(armnet.CtrHandoffDropped), m.Get(armnet.CtrAdaptUpdates))
+}

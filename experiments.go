@@ -1,0 +1,87 @@
+package armnet
+
+import "armnet/internal/sim"
+
+// This file re-exports the experiment harnesses that regenerate the
+// paper's tables and figures, so downstream users (and the repository's
+// own cmd/paperfigs and benchmarks) can run them through the public API.
+
+// Experiment configurations and results.
+type (
+	// Figure4Config / Figure4Result: §7.1 office next-cell prediction on
+	// the calibrated ECE-building trace.
+	Figure4Config = sim.Figure4Config
+	Figure4Result = sim.Figure4Result
+
+	// Figure5Config / Figure5Result: §7.1 meeting-room reservation
+	// comparison (brute force vs aggregation vs booking calendar).
+	Figure5Config = sim.Figure5Config
+	Figure5Result = sim.Figure5Result
+	Fig5Algorithm = sim.Fig5Algorithm
+
+	// Figure6Config / Figure6Result: §7.2 probabilistic default
+	// reservation P_d/P_b tradeoff.
+	Figure6Config = sim.Figure6Config
+	Figure6Result = sim.Figure6Result
+	Figure6Curve  = sim.Figure6Curve
+
+	// Table2Config / Table2Result: the admission-test rows.
+	Table2Config = sim.Table2Config
+	Table2Result = sim.Table2Result
+
+	// Theorem1Config / Theorem1Result: event-driven maxmin convergence.
+	Theorem1Config = sim.Theorem1Config
+	Theorem1Result = sim.Theorem1Result
+
+	// Figure2Config / Figure2Result: lounge handoff-activity profile.
+	Figure2Config = sim.Figure2Config
+	Figure2Result = sim.Figure2Result
+
+	// CampusConfig / CampusResult: integrated campus scenario comparing
+	// reservation modes (extension experiment: drop/block rates and
+	// handoff signaling latency, predicted vs unpredicted).
+	CampusConfig = sim.CampusConfig
+	CampusResult = sim.CampusResult
+
+	// TthPoint is one sample of the T_th sensitivity ablation.
+	TthPoint = sim.TthPoint
+
+	// GridConfig / GridResult: scale scenario on a rows×cols building.
+	GridConfig = sim.GridConfig
+	GridResult = sim.GridResult
+
+	// BoundsConfig / BoundsResult: §2.1 loose-vs-rigid QoS quantified.
+	BoundsConfig = sim.BoundsConfig
+	BoundsResult = sim.BoundsResult
+
+	// CorridorResult: §6.1 linear-movement prediction accuracy.
+	CorridorResult = sim.CorridorResult
+)
+
+// Figure 5 algorithm selectors.
+const (
+	AlgBruteForce  = sim.AlgBruteForce
+	AlgAggregation = sim.AlgAggregation
+	AlgMeetingRoom = sim.AlgMeetingRoom
+)
+
+// Experiment runners.
+var (
+	RunFigure2           = sim.RunFigure2
+	RunFigure4           = sim.RunFigure4
+	RunFigure5           = sim.RunFigure5
+	RunFigure5Comparison = sim.RunFigure5Comparison
+	RunFigure6           = sim.RunFigure6
+	RunFigure6Sweep      = sim.RunFigure6Sweep
+	RunTable2            = sim.RunTable2
+	RunTheorem1          = sim.RunTheorem1
+	RunCampus            = sim.RunCampus
+	RunCampusComparison  = sim.RunCampusComparison
+	RunTthSensitivity    = sim.RunTthSensitivity
+	RunGrid              = sim.RunGrid
+	RunBounds            = sim.RunBounds
+	RunCorridor          = sim.RunCorridor
+	// ErlangB is the analytic blocking formula used to validate the
+	// Figure 6 simulator.
+	ErlangB = sim.ErlangB
+)

@@ -1,0 +1,3 @@
+module armnet
+
+go 1.22

@@ -1,0 +1,319 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"armnet/internal/adapt"
+	"armnet/internal/predict"
+	"armnet/internal/profile"
+	"armnet/internal/qos"
+	"armnet/internal/reserve"
+	"armnet/internal/topology"
+)
+
+// PerUserBW is the planning bandwidth for aggregate (per-head) advance
+// reservations: the expectation of the paper's workload mix, 0.75·16 kb/s
+// + 0.25·64 kb/s.
+const PerUserBW = 28e3
+
+func profileHandoff(p *Portable, to topology.CellID, now float64) profile.Handoff {
+	return profile.Handoff{
+		Portable: p.ID,
+		Prev:     p.Prev,
+		From:     p.Cell,
+		To:       to,
+		Time:     now,
+	}
+}
+
+// ---- Advance reservation bookkeeping ----
+//
+// Several sources write advance reservations into the same wireless link:
+// per-portable predictions, lounge policies, meeting calendars. The book
+// tracks each source's amount so one source's update never clobbers
+// another's; the ledger sees the sum.
+
+func (m *Manager) bookSet(link topology.LinkID, source string, amount float64) {
+	if link == "" {
+		return
+	}
+	entries := m.book[link]
+	if entries == nil {
+		if amount <= 0 {
+			return
+		}
+		entries = make(map[string]float64)
+		m.book[link] = entries
+	}
+	if amount <= 0 {
+		delete(entries, source)
+	} else {
+		entries[source] = amount
+	}
+	total := 0.0
+	for _, v := range entries {
+		total += v
+	}
+	_ = m.Ctl.Ledger.SetAdvance(link, total)
+}
+
+// clearAdvance removes every per-portable advance reservation of p.
+func (m *Manager) clearAdvance(p *Portable) {
+	source := "portable:" + p.ID
+	for cell := range p.reservedCells {
+		m.bookSet(m.downlink(cell), source, 0)
+		delete(p.reservedCells, cell)
+	}
+}
+
+// refreshAdvance recomputes the portable's advance reservation per the
+// configured mode. Static portables never hold advance reservations
+// (§3.4.2); mobile ones reserve the sum of their connections' b_min.
+func (m *Manager) refreshAdvance(p *Portable) {
+	m.clearAdvance(p)
+	if p.Mobility != qos.Mobile || len(p.conns) == 0 || m.Cfg.Mode == ModeNone {
+		return
+	}
+	demand := 0.0
+	for id := range p.conns {
+		demand += m.conns[id].Req.Bandwidth.Min
+	}
+	if demand <= 0 {
+		return
+	}
+	source := "portable:" + p.ID
+	place := func(cell topology.CellID) {
+		m.bookSet(m.downlink(cell), source, demand)
+		p.reservedCells[cell] = demand
+		m.Met.Counter.Inc(CtrAdvanceResv)
+	}
+	switch m.Cfg.Mode {
+	case ModeBruteForce:
+		for _, nid := range m.Env.Universe.Cell(p.Cell).Neighbors() {
+			place(nid)
+		}
+	default: // ModePredictive
+		d := m.Pred.NextCell(p.ID, p.Prev, p.Cell)
+		if d.Action == predict.ActionReserve {
+			place(d.Target)
+		}
+		// ActionDefault is handled in aggregate by evaluatePolicies.
+	}
+}
+
+// ---- Meetings ----
+
+// RegisterMeeting attaches a booking-calendar entry to a meeting room.
+func (m *Manager) RegisterMeeting(room topology.CellID, mt reserve.Meeting) error {
+	cell := m.Env.Universe.Cell(room)
+	if cell == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownCell, room)
+	}
+	if cell.Class != topology.ClassMeetingRoom {
+		return fmt.Errorf("core: cell %s is %s, not a meeting room", room, cell.Class)
+	}
+	pol, err := reserve.NewMeetingPolicy(mt, reserve.DefaultMeetingConfig())
+	if err != nil {
+		return err
+	}
+	m.meetings[room] = append(m.meetings[room], &meetingState{
+		policy:  pol,
+		arrived: make(map[string]bool),
+		left:    make(map[string]bool),
+	})
+	return nil
+}
+
+func (m *Manager) noteMeetingArrival(portable string, cell topology.CellID) {
+	for _, ms := range m.meetings[cell] {
+		mt := ms.policy.Meeting
+		now := m.Sim.Now()
+		if now >= mt.Start-ms.policy.Config.LeadIn && now < mt.End {
+			ms.arrived[portable] = true
+		}
+	}
+}
+
+func (m *Manager) noteMeetingDeparture(portable string, cell topology.CellID) {
+	for _, ms := range m.meetings[cell] {
+		if !ms.arrived[portable] {
+			continue
+		}
+		now := m.Sim.Now()
+		if now >= ms.policy.Meeting.End-ms.policy.Config.LeadOut {
+			ms.left[portable] = true
+		}
+	}
+}
+
+// ---- Periodic policy evaluation ----
+
+// evaluatePolicies runs once per slot: meeting calendars, cafeteria
+// least-squares forecasts, and default-lounge one-step/probabilistic
+// reservations (§6.2–6.3). Predictive mode only.
+func (m *Manager) evaluatePolicies() {
+	if m.Cfg.Mode != ModePredictive {
+		return
+	}
+	now := m.Sim.Now()
+	// The lounge forecasters read slotted history; evaluation happens at
+	// slot boundaries, so "the current slot" (n_t in §6.2) is the slot
+	// that just completed, one slot behind the wall clock.
+	ref := now - m.Cfg.SlotDuration
+	if ref < 0 {
+		ref = 0
+	}
+	u := m.Env.Universe
+	for _, cell := range u.Cells() {
+		switch cell.Class {
+		case topology.ClassMeetingRoom:
+			m.evaluateMeetings(cell, now)
+		case topology.ClassCafeteria:
+			srv := m.Pred.ServerFor(cell.ID)
+			if srv == nil {
+				continue
+			}
+			cp := srv.Cell(cell.ID)
+			if cp == nil {
+				continue
+			}
+			plan := reserve.CafeteriaPlan(u, cp, ref, PerUserBW)
+			m.applyLoungePlan(cell, plan)
+		case topology.ClassLoungeDefault:
+			srv := m.Pred.ServerFor(cell.ID)
+			if srv == nil {
+				continue
+			}
+			cp := srv.Cell(cell.ID)
+			if cp == nil {
+				continue
+			}
+			plan, hasDefault := reserve.DefaultPlan(u, cp, ref, PerUserBW)
+			if hasDefault {
+				plan.Self = m.probabilisticSelf(cell)
+			}
+			m.applyLoungePlan(cell, plan)
+		}
+	}
+}
+
+func (m *Manager) evaluateMeetings(cell *topology.Cell, now float64) {
+	tag := "meeting:" + string(cell.ID)
+	roomTotal := 0.0
+	neighborTotal := 0.0
+	active := m.meetings[cell.ID][:0]
+	for _, ms := range m.meetings[cell.ID] {
+		roomTotal += float64(ms.policy.RoomSlots(now, len(ms.arrived))) * PerUserBW
+		neighborTotal += float64(ms.policy.NeighborSlots(now, len(ms.arrived), len(ms.left))) * PerUserBW
+		if ms.policy.Active(now) {
+			active = append(active, ms)
+		}
+	}
+	m.meetings[cell.ID] = active
+	m.bookSet(m.downlink(cell.ID), tag, roomTotal)
+	// Split the departure reservation over the neighbors by the cell's
+	// handoff distribution.
+	srv := m.Pred.ServerFor(cell.ID)
+	var probs map[topology.CellID]float64
+	if srv != nil {
+		probs = srv.HandoffDistribution(cell.ID, "")
+	}
+	split := predict.SplitForecast(neighborTotal, probs, cell.Neighbors())
+	for _, nid := range cell.Neighbors() {
+		m.bookSet(m.downlink(nid), tag, split[nid])
+	}
+}
+
+func (m *Manager) applyLoungePlan(cell *topology.Cell, plan reserve.LoungePlan) {
+	tag := "policy:" + string(cell.ID)
+	for _, nid := range cell.Neighbors() {
+		m.bookSet(m.downlink(nid), tag, plan.Neighbor[nid])
+	}
+	m.bookSet(m.downlink(cell.ID), tag+":self", plan.Self)
+}
+
+// probabilisticSelf applies §6.3 in aggregate for a default lounge with
+// default neighbors: a single synthetic class at PerUserBW granularity,
+// occupancy = connections in the cell, neighbor occupancy = connections
+// in the default neighbors.
+func (m *Manager) probabilisticSelf(cell *topology.Cell) float64 {
+	capUnits := int(cell.Capacity / PerUserBW)
+	if capUnits <= 0 {
+		return 0
+	}
+	classes := []reserve.ClassState{{Bandwidth: 1, Mu: 1.0 / 600, Handoff: 0.5}}
+	n := []int{m.connsInCell(cell.ID)}
+	s := 0
+	for _, nid := range cell.Neighbors() {
+		if nc := m.Env.Universe.Cell(nid); nc != nil && nc.Class == topology.ClassLoungeDefault {
+			s += m.connsInCell(nid)
+		}
+	}
+	plan, err := reserve.ProbabilisticPlan(classes, n, []int{s}, capUnits, m.Cfg.SlotDuration, 0.05)
+	if err != nil && plan.MaxConns == nil {
+		return 0
+	}
+	return float64(plan.Reserved) * PerUserBW
+}
+
+func (m *Manager) connsInCell(cell topology.CellID) int {
+	n := 0
+	for _, p := range m.portables {
+		if p.Cell == cell {
+			n += len(p.conns)
+		}
+	}
+	return n
+}
+
+// ---- Pool adjustment (§5.3) ----
+
+// adjustPools recomputes the B_dyn fraction of the given cell and its
+// neighbors: each cell's pool must absorb the largest allocation of any
+// static portable's connection residing in its neighborhood.
+func (m *Manager) adjustPools(cell topology.CellID) {
+	u := m.Env.Universe
+	c := u.Cell(cell)
+	if c == nil {
+		return
+	}
+	targets := append([]topology.CellID{cell}, c.Neighbors()...)
+	for _, t := range targets {
+		tc := u.Cell(t)
+		if tc == nil {
+			continue
+		}
+		maxAlloc := 0.0
+		for _, nid := range tc.Neighbors() {
+			for _, p := range m.portablesInCell(nid) {
+				if p.Mobility != qos.Static {
+					continue
+				}
+				for id := range p.conns {
+					if bw := m.conns[id].Bandwidth; bw > maxAlloc {
+						maxAlloc = bw
+					}
+				}
+			}
+		}
+		if ls := m.Ctl.Ledger.Link(m.downlink(t)); ls != nil {
+			ls.PoolFraction = adapt.PoolFraction(maxAlloc, ls.Capacity, m.Cfg.PoolMin, m.Cfg.PoolMax)
+		}
+	}
+}
+
+func (m *Manager) portablesInCell(cell topology.CellID) []*Portable {
+	var out []*Portable
+	ids := make([]string, 0, len(m.portables))
+	for id := range m.portables {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		if p := m.portables[id]; p.Cell == cell {
+			out = append(out, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,265 @@
+package core
+
+import (
+	"fmt"
+
+	"armnet/internal/admission"
+	"armnet/internal/qos"
+	"armnet/internal/topology"
+)
+
+// OpenConnection admits a new downlink connection from a wired host to
+// the portable with the given QoS bounds. It returns the connection ID on
+// success and ErrRejected (wrapped with the reason) when admission fails.
+//
+// A request with zero bandwidth bounds (req.BestEffort()) bypasses
+// admission control entirely (§4: "if no QoS parameters are specified,
+// the network will provide best-effort service"): the connection is
+// tracked with no reservation, is never blocked, and never causes a
+// handoff drop — it simply uses whatever capacity is left over.
+func (m *Manager) OpenConnection(portable string, req qos.Request) (string, error) {
+	p, ok := m.portables[portable]
+	if !ok {
+		return "", fmt.Errorf("%w: %s", ErrUnknownPortable, portable)
+	}
+	m.Met.Counter.Inc(CtrNewRequested)
+	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
+	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
+	if err != nil {
+		return "", err
+	}
+	connID := fmt.Sprintf("conn-%d", m.nextConn)
+	m.nextConn++
+	if req.BestEffort() {
+		m.Met.Counter.Inc(CtrNewAdmitted)
+		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
+		m.conns[connID] = c
+		p.conns[connID] = true
+		return connID, nil
+	}
+	res, err := m.Ctl.Admit(admission.Test{
+		ConnID:     connID,
+		Req:        req,
+		Route:      route,
+		Kind:       admission.KindNew,
+		Mobility:   p.Mobility,
+		Discipline: m.Cfg.Discipline,
+		LMax:       m.Cfg.LMax,
+	})
+	if err != nil {
+		return "", err
+	}
+	if !res.Admitted {
+		m.Met.Counter.Inc(CtrNewBlocked)
+		return "", fmt.Errorf("%w: %s at %s", ErrRejected, res.Reason, res.FailedLink)
+	}
+	m.Met.Counter.Inc(CtrNewAdmitted)
+	c := &Connection{
+		ID: connID, Portable: portable, Req: req,
+		Host: host, Route: route, Bandwidth: res.Bandwidth,
+	}
+	m.conns[connID] = c
+	p.conns[connID] = true
+	if m.Adpt != nil {
+		if err := m.Adpt.Register(connID, route, req.Bandwidth, p.Mobility); err != nil {
+			return "", err
+		}
+	}
+	m.setupMulticast(c, p.Cell)
+	m.refreshAdvance(p)
+	m.adjustPools(p.Cell)
+	return connID, nil
+}
+
+// CloseConnection releases a connection everywhere.
+func (m *Manager) CloseConnection(connID string) error {
+	c, ok := m.conns[connID]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, connID)
+	}
+	m.Ctl.Ledger.Release(connID, c.Route)
+	m.releaseMulticast(c)
+	if m.Adpt != nil {
+		m.Adpt.Unregister(connID)
+	}
+	delete(m.conns, connID)
+	delete(m.rateWatchers, connID)
+	if p := m.portables[c.Portable]; p != nil {
+		delete(p.conns, connID)
+		m.refreshAdvance(p)
+	}
+	return nil
+}
+
+// setupMulticast builds the wired multicast tree toward the base stations
+// of the current cell's neighbors and reserves b_min on its wired links
+// where possible. Failure is never fatal (§4: "the failure of the
+// end-to-end test along any route will not cause the forced termination
+// of the connection").
+func (m *Manager) setupMulticast(c *Connection, cell topology.CellID) {
+	u := m.Env.Universe
+	cc := u.Cell(cell)
+	if cc == nil {
+		return
+	}
+	var dsts []topology.NodeID
+	for _, nid := range cc.Neighbors() {
+		dsts = append(dsts, u.Cell(nid).BaseStation)
+	}
+	tree, err := m.Env.Backbone.Multicast(c.Host, dsts)
+	if err != nil {
+		return
+	}
+	c.Multicast = &tree
+	// Reserve b_min on each branch with a best-effort admission test.
+	for _, dst := range sortedNodeIDs(tree.Branches) {
+		route := tree.Branches[dst]
+		if len(route.Links) == 0 {
+			continue
+		}
+		_, _ = m.Ctl.Admit(admission.Test{
+			ConnID:     c.ID + "@mc:" + string(dst),
+			Req:        c.Req,
+			Route:      route,
+			Kind:       admission.KindNew,
+			Mobility:   qos.Mobile,
+			Discipline: m.Cfg.Discipline,
+			LMax:       m.Cfg.LMax,
+		})
+	}
+}
+
+func sortedNodeIDs(m map[topology.NodeID]topology.Route) []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(m))
+	for id := range m {
+		out = append(out, id)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// releaseMulticast frees the multicast branch reservations.
+func (m *Manager) releaseMulticast(c *Connection) {
+	if c.Multicast == nil {
+		return
+	}
+	for dst, route := range c.Multicast.Branches {
+		m.Ctl.Ledger.Release(c.ID+"@mc:"+string(dst), route)
+	}
+	c.Multicast = nil
+}
+
+// HandoffPortable executes a handoff of the portable into the given
+// neighboring cell: every connection is re-admitted over the new route
+// (consuming advance reservations when present, dipping into the B_dyn
+// pool for unpredicted moves of static portables), the profile servers
+// are updated, the static timer restarts, and a fresh advance reservation
+// is placed per the §6 prediction.
+func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
+	p, ok := m.portables[id]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPortable, id)
+	}
+	toCell := m.Env.Universe.Cell(to)
+	if toCell == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownCell, to)
+	}
+	if to == p.Cell {
+		return nil
+	}
+	from := p.Cell
+	// Was this move predicted (advance reservation waiting in `to`)?
+	_, predicted := p.reservedCells[to]
+	// Sudden movement of a static portable: unpredicted by definition,
+	// allowed to claim the pool.
+	kind := admission.KindHandoff
+	if !predicted {
+		kind = admission.KindPoolClaim
+		m.Met.Counter.Inc(CtrPoolClaims)
+	}
+	// Update counters for meeting rooms.
+	m.noteMeetingDeparture(id, from)
+	m.noteMeetingArrival(id, to)
+
+	// Report the handoff to the profile machinery before re-admission,
+	// mirroring the base station's update message.
+	m.Pred.RecordHandoff(profileHandoff(p, to, m.Sim.Now()))
+
+	// Clear this portable's old advance reservations (including the one
+	// in `to`, which the re-admission below consumes via the ledger).
+	m.clearAdvance(p)
+
+	for _, connID := range p.Conns() {
+		c := m.conns[connID]
+		m.Met.Counter.Inc(CtrHandoffTried)
+		newRoute, err := m.Env.Backbone.ShortestPath(c.Host, topology.AirNode(to))
+		if err != nil {
+			m.dropConnection(c, p)
+			continue
+		}
+		m.recordHandoffLatency(newRoute, predicted)
+		if c.Req.BestEffort() {
+			// Best-effort connections carry no reservation: they follow
+			// the portable unconditionally.
+			c.Route = newRoute
+			m.Met.Counter.Inc(CtrHandoffOK)
+			continue
+		}
+		// Release the old path first (the portable has left the cell),
+		// then admit on the new one.
+		m.Ctl.Ledger.Release(connID, c.Route)
+		res, err := m.Ctl.Admit(admission.Test{
+			ConnID:     connID,
+			Req:        c.Req,
+			Route:      newRoute,
+			Kind:       kind,
+			Mobility:   qos.Mobile,
+			Discipline: m.Cfg.Discipline,
+			LMax:       m.Cfg.LMax,
+		})
+		if err != nil || !res.Admitted {
+			m.dropConnection(c, p)
+			continue
+		}
+		m.Met.Counter.Inc(CtrHandoffOK)
+		if m.Adpt != nil {
+			m.Adpt.Unregister(connID)
+		}
+		m.releaseMulticast(c)
+		c.Route = newRoute
+		c.Bandwidth = res.Bandwidth
+		if m.Adpt != nil {
+			_ = m.Adpt.Register(connID, newRoute, c.Req.Bandwidth, qos.Mobile)
+		}
+		m.setupMulticast(c, to)
+	}
+
+	p.Prev = from
+	p.Cell = to
+	p.arrivedAt = m.Sim.Now()
+	m.becomeMobile(p)
+	m.armStaticTimer(p)
+	m.refreshAdvance(p)
+	m.adjustPools(to)
+	m.adjustPools(from)
+	return nil
+}
+
+// dropConnection force-terminates a connection that failed its handoff
+// admission.
+func (m *Manager) dropConnection(c *Connection, p *Portable) {
+	m.Met.Counter.Inc(CtrHandoffDropped)
+	m.Met.Drops = append(m.Met.Drops, c.ID)
+	m.Ctl.Ledger.Release(c.ID, c.Route)
+	m.releaseMulticast(c)
+	if m.Adpt != nil {
+		m.Adpt.Unregister(c.ID)
+	}
+	delete(m.conns, c.ID)
+	delete(m.rateWatchers, c.ID)
+	delete(p.conns, c.ID)
+}

@@ -1,0 +1,373 @@
+// Package core integrates the paper's resource-management algorithms into
+// the single framework of its Figure 1: admission control with QoS bounds
+// (Table 2), static/mobile portable classification (§3.4.2), profile-based
+// next-cell prediction (§6), advance reservation with per-class policies,
+// the B_dyn pool, multicast route pre-setup on the wired backbone (§4),
+// and maxmin bandwidth adaptation for static portables (§5.3).
+//
+// The Manager is the public heart of the library: place portables, open
+// connections with QoS bounds, feed it mobility events, and it runs the
+// whole control loop on the discrete-event simulator.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"armnet/internal/adapt"
+	"armnet/internal/admission"
+	"armnet/internal/des"
+	"armnet/internal/maxmin"
+	"armnet/internal/predict"
+	"armnet/internal/profile"
+	"armnet/internal/qos"
+	"armnet/internal/randx"
+	"armnet/internal/reserve"
+	"armnet/internal/sched"
+	"armnet/internal/signal"
+	"armnet/internal/stats"
+	"armnet/internal/topology"
+)
+
+// ReservationMode selects the advance-reservation strategy — the knob the
+// paper's §7.1 comparison turns.
+type ReservationMode int
+
+const (
+	// ModePredictive is the paper's algorithm: profile-based next-cell
+	// prediction plus per-class policies.
+	ModePredictive ReservationMode = iota
+	// ModeBruteForce reserves in every neighboring cell of a mobile
+	// portable (the conservative baseline of [7]).
+	ModeBruteForce
+	// ModeNone performs no advance reservation (handoffs compete as
+	// unpredicted pool claims).
+	ModeNone
+)
+
+// String implements fmt.Stringer.
+func (m ReservationMode) String() string {
+	switch m {
+	case ModePredictive:
+		return "predictive"
+	case ModeBruteForce:
+		return "brute-force"
+	case ModeNone:
+		return "none"
+	default:
+		return fmt.Sprintf("ReservationMode(%d)", int(m))
+	}
+}
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Seed drives every random draw (default 1).
+	Seed int64
+	// Tth is the static/mobile threshold in seconds (default 300).
+	Tth float64
+	// PoolMin and PoolMax bound the B_dyn fraction (defaults 0.05/0.20).
+	PoolMin, PoolMax float64
+	// Mode selects the advance reservation strategy.
+	Mode ReservationMode
+	// Discipline selects the buffer formulas for admission.
+	Discipline sched.Discipline
+	// LMax is the maximum packet size in bits (default admission's).
+	LMax float64
+	// SlotDuration is the lounge policy evaluation period (default 60 s).
+	SlotDuration float64
+	// Adaptation enables §5.3 bandwidth adaptation (default on).
+	DisableAdaptation bool
+	// Proto tunes the rate-allocation protocol.
+	Proto maxmin.ProtocolOptions
+	// Profiles tunes the profile servers.
+	Profiles profile.ServerOptions
+}
+
+func (c Config) withDefaults() Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Tth <= 0 {
+		c.Tth = 300
+	}
+	if c.PoolMin <= 0 {
+		c.PoolMin = 0.05
+	}
+	if c.PoolMax <= 0 {
+		c.PoolMax = 0.20
+	}
+	if c.SlotDuration <= 0 {
+		c.SlotDuration = 60
+	}
+	return c
+}
+
+// Portable is the manager's view of one mobile host.
+type Portable struct {
+	ID   string
+	Cell topology.CellID
+	Prev topology.CellID
+	// Mobility is the current static/mobile classification.
+	Mobility qos.Mobility
+
+	arrivedAt   float64
+	staticTimer *des.Event
+	conns       map[string]bool
+	// reservedCells are the cells currently holding advance reservations
+	// for this portable.
+	reservedCells map[topology.CellID]float64
+}
+
+// Conns returns the portable's connection IDs, sorted.
+func (p *Portable) Conns() []string {
+	out := make([]string, 0, len(p.conns))
+	for id := range p.conns {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Connection is one admitted end-to-end connection. Connections are
+// modeled downlink (wired host → portable), the direction that stresses
+// the cell in the paper's workloads.
+type Connection struct {
+	ID       string
+	Portable string
+	Req      qos.Request
+	Host     topology.NodeID
+	Route    topology.Route
+	// Bandwidth is the current allocation b_j.
+	Bandwidth float64
+	// Multicast is the wired pre-setup tree toward neighbor base
+	// stations (nil when setup failed — never fatal, per §4).
+	Multicast *topology.MulticastTree
+}
+
+// Metrics aggregates the manager's observable outcomes.
+type Metrics struct {
+	Counter *stats.Counter
+	// Drops lists dropped connection IDs in order.
+	Drops []string
+}
+
+// Counter names used by the manager.
+const (
+	CtrNewRequested   = "new-requested"
+	CtrNewAdmitted    = "new-admitted"
+	CtrNewBlocked     = "new-blocked"
+	CtrHandoffTried   = "handoff-attempted"
+	CtrHandoffOK      = "handoff-succeeded"
+	CtrHandoffDropped = "handoff-dropped"
+	CtrAdaptUpdates   = "adaptation-updates"
+	CtrAdvanceResv    = "advance-reservations"
+	CtrPoolClaims     = "pool-claims"
+)
+
+// Manager is the integrated resource manager.
+type Manager struct {
+	Sim  *des.Simulator
+	Env  *topology.Environment
+	Cfg  Config
+	Rng  *randx.Rand
+	Ctl  *admission.Controller
+	Adpt *adapt.Manager
+	Pred *predict.Predictor
+	Met  *Metrics
+	// Latency tracks handoff signaling latency, split by whether the
+	// handoff was predicted (advance-reserved) or not.
+	Latency LatencyStats
+
+	portables map[string]*Portable
+	conns     map[string]*Connection
+	nextConn  int
+	// advance bookkeeping: per wireless link, per source tag, bits/s.
+	book map[topology.LinkID]map[string]float64
+	// meetings per room cell.
+	meetings map[topology.CellID][]*meetingState
+	// sigPlane is the lazily built signaling plane (SignalPlane).
+	sigPlane *signal.Plane
+	// rateWatchers holds per-connection bandwidth-change callbacks (the
+	// application runtime-support hook of §4 / [14]).
+	rateWatchers map[string]func(bandwidth float64)
+}
+
+type meetingState struct {
+	policy  *reserve.MeetingPolicy
+	arrived map[string]bool
+	left    map[string]bool
+}
+
+// Errors.
+var (
+	ErrUnknownPortable = errors.New("core: unknown portable")
+	ErrUnknownCell     = errors.New("core: unknown cell")
+	ErrRejected        = errors.New("core: connection rejected")
+	ErrUnknownConn     = errors.New("core: unknown connection")
+)
+
+// NewManager wires the full system over an environment.
+func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Manager, error) {
+	if sim == nil || env == nil {
+		return nil, fmt.Errorf("core: nil simulator or environment")
+	}
+	if len(env.Hosts) == 0 {
+		return nil, fmt.Errorf("core: environment has no wired hosts")
+	}
+	cfg = cfg.withDefaults()
+	lg := admission.NewLedger(env.Backbone)
+	m := &Manager{
+		Sim:          sim,
+		Env:          env,
+		Cfg:          cfg,
+		Rng:          randx.New(cfg.Seed),
+		Ctl:          admission.NewController(lg),
+		Pred:         predict.New(env.Universe, cfg.Profiles),
+		Met:          &Metrics{Counter: stats.NewCounter()},
+		portables:    make(map[string]*Portable),
+		conns:        make(map[string]*Connection),
+		book:         make(map[topology.LinkID]map[string]float64),
+		meetings:     make(map[topology.CellID][]*meetingState),
+		rateWatchers: make(map[string]func(float64)),
+	}
+	if !cfg.DisableAdaptation {
+		var err error
+		m.Adpt, err = adapt.NewManager(sim, lg, cfg.Proto)
+		if err != nil {
+			return nil, err
+		}
+		m.Adpt.OnRate = func(connID string, bw float64) {
+			if c, ok := m.conns[connID]; ok {
+				c.Bandwidth = bw
+				m.Met.Counter.Inc(CtrAdaptUpdates)
+				if w := m.rateWatchers[connID]; w != nil {
+					w(bw)
+				}
+			}
+		}
+	}
+	// Initialize B_dyn pools at the floor fraction on every wireless
+	// downlink; the pool rule of §5.3 adjusts them as load appears.
+	for _, c := range env.Universe.Cells() {
+		if ls := lg.Link(m.downlink(c.ID)); ls != nil {
+			ls.PoolFraction = cfg.PoolMin
+		}
+	}
+	// Periodic lounge-policy evaluation.
+	sim.Every(cfg.SlotDuration, m.evaluatePolicies)
+	return m, nil
+}
+
+// downlink returns the wireless downlink (bs → air) of a cell.
+func (m *Manager) downlink(cell topology.CellID) topology.LinkID {
+	c := m.Env.Universe.Cell(cell)
+	if c == nil {
+		return ""
+	}
+	l := m.Env.Backbone.Link(c.BaseStation, topology.AirNode(cell))
+	if l == nil {
+		return ""
+	}
+	return l.ID
+}
+
+// Portable returns the tracked portable, or nil.
+func (m *Manager) Portable(id string) *Portable { return m.portables[id] }
+
+// Connection returns the tracked connection, or nil.
+func (m *Manager) Connection(id string) *Connection { return m.conns[id] }
+
+// Ledger exposes the underlying reservation ledger (read-mostly).
+func (m *Manager) Ledger() *admission.Ledger { return m.Ctl.Ledger }
+
+// WatchBandwidth registers a callback invoked whenever the network adapts
+// the connection's bandwidth — the hook an adaptive application (e.g. a
+// layered video codec) uses to switch encoding rates (§3.2, [14]).
+// A nil callback removes the watcher. Unknown connections error.
+func (m *Manager) WatchBandwidth(connID string, fn func(bandwidth float64)) error {
+	if _, ok := m.conns[connID]; !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownConn, connID)
+	}
+	if fn == nil {
+		delete(m.rateWatchers, connID)
+		return nil
+	}
+	m.rateWatchers[connID] = fn
+	return nil
+}
+
+// PlacePortable introduces a portable in a cell (initial placement, not a
+// handoff). The portable starts mobile; the static timer is armed.
+func (m *Manager) PlacePortable(id string, cell topology.CellID) error {
+	if m.Env.Universe.Cell(cell) == nil {
+		return fmt.Errorf("%w: %s", ErrUnknownCell, cell)
+	}
+	if _, ok := m.portables[id]; ok {
+		return fmt.Errorf("core: portable %s already placed", id)
+	}
+	p := &Portable{
+		ID: id, Cell: cell, Mobility: qos.Mobile,
+		arrivedAt:     m.Sim.Now(),
+		conns:         make(map[string]bool),
+		reservedCells: make(map[topology.CellID]float64),
+	}
+	m.portables[id] = p
+	m.armStaticTimer(p)
+	m.noteMeetingArrival(p.ID, cell)
+	return nil
+}
+
+// RemovePortable tears down a portable and all its connections.
+func (m *Manager) RemovePortable(id string) {
+	p, ok := m.portables[id]
+	if !ok {
+		return
+	}
+	for _, cid := range p.Conns() {
+		_ = m.CloseConnection(cid)
+	}
+	m.clearAdvance(p)
+	if p.staticTimer != nil {
+		p.staticTimer.Cancel()
+	}
+	delete(m.portables, id)
+}
+
+// armStaticTimer (re)arms the T_th timer that flips the portable to
+// static if it stays put.
+func (m *Manager) armStaticTimer(p *Portable) {
+	if p.staticTimer != nil {
+		p.staticTimer.Cancel()
+	}
+	p.staticTimer = m.Sim.After(m.Cfg.Tth, func() {
+		p.staticTimer = nil
+		m.becomeStatic(p)
+	})
+}
+
+// becomeStatic applies the §3.4.2 static rules: drop advance
+// reservations elsewhere, upgrade connections toward b_max.
+func (m *Manager) becomeStatic(p *Portable) {
+	p.Mobility = qos.Static
+	m.clearAdvance(p)
+	if m.Adpt != nil {
+		for cid := range p.conns {
+			_ = m.Adpt.SetMobility(cid, qos.Static)
+		}
+	}
+	m.adjustPools(p.Cell)
+}
+
+// becomeMobile applies the mobile rules on movement.
+func (m *Manager) becomeMobile(p *Portable) {
+	if p.Mobility == qos.Mobile {
+		return
+	}
+	p.Mobility = qos.Mobile
+	if m.Adpt != nil {
+		for cid := range p.conns {
+			_ = m.Adpt.SetMobility(cid, qos.Mobile)
+		}
+	}
+}

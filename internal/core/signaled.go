@@ -1,0 +1,98 @@
+package core
+
+import (
+	"fmt"
+
+	"armnet/internal/admission"
+	"armnet/internal/qos"
+	"armnet/internal/signal"
+	"armnet/internal/topology"
+)
+
+// SignalPlane lazily constructs the signaling plane (§5.1's round-trip
+// setup as timed control messages with tentative holds).
+func (m *Manager) SignalPlane() *signal.Plane {
+	if m.sigPlane == nil {
+		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, signal.Options{})
+	}
+	return m.sigPlane
+}
+
+// OpenConnectionAsync opens a connection through the signaling plane: the
+// request travels the route as control messages (forward test with
+// tentative holds, destination evaluation, reverse commit), and done is
+// invoked at the simulated completion time with the connection ID or the
+// failure. Unlike OpenConnection, concurrent setups race realistically
+// and setup latency is charged.
+//
+// If the portable hands off while setup is in flight, the freshly
+// committed reservation targets a cell the portable has left; the setup
+// is then aborted (resources released, reported as rejected) — the
+// application retries, as it would in a real system.
+func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done func(connID string, err error)) error {
+	p, ok := m.portables[portable]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownPortable, portable)
+	}
+	if done == nil {
+		return fmt.Errorf("core: nil completion callback")
+	}
+	m.Met.Counter.Inc(CtrNewRequested)
+	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
+	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
+	if err != nil {
+		return err
+	}
+	connID := fmt.Sprintf("conn-%d", m.nextConn)
+	m.nextConn++
+	if req.BestEffort() {
+		m.Met.Counter.Inc(CtrNewAdmitted)
+		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
+		m.conns[connID] = c
+		p.conns[connID] = true
+		done(connID, nil)
+		return nil
+	}
+	originCell := p.Cell
+	m.SignalPlane().Setup(admission.Test{
+		ConnID:     connID,
+		Req:        req,
+		Route:      route,
+		Kind:       admission.KindNew,
+		Mobility:   p.Mobility,
+		Discipline: m.Cfg.Discipline,
+		LMax:       m.Cfg.LMax,
+	}, func(r signal.Result) {
+		if r.Err != nil {
+			m.Met.Counter.Inc(CtrNewBlocked)
+			done("", fmt.Errorf("%w: %v", ErrRejected, r.Err))
+			return
+		}
+		// The plane committed the reservation; make sure the world did
+		// not shift under us.
+		if cur, ok := m.portables[portable]; !ok || cur.Cell != originCell {
+			m.Ctl.Ledger.Release(connID, route)
+			m.Met.Counter.Inc(CtrNewBlocked)
+			done("", fmt.Errorf("%w: portable moved during setup", ErrRejected))
+			return
+		}
+		m.Met.Counter.Inc(CtrNewAdmitted)
+		c := &Connection{
+			ID: connID, Portable: portable, Req: req,
+			Host: host, Route: route, Bandwidth: r.Admission.Bandwidth,
+		}
+		m.conns[connID] = c
+		p.conns[connID] = true
+		if m.Adpt != nil {
+			if err := m.Adpt.Register(connID, route, req.Bandwidth, p.Mobility); err != nil {
+				done("", err)
+				return
+			}
+		}
+		m.setupMulticast(c, p.Cell)
+		m.refreshAdvance(p)
+		m.adjustPools(p.Cell)
+		done(connID, nil)
+	})
+	return nil
+}

@@ -1,0 +1,233 @@
+// Package des implements a deterministic discrete-event simulation engine.
+//
+// The engine is the substrate on which every experiment in this repository
+// runs: mobility models, traffic generators, handoff managers and the
+// distributed rate-allocation protocol all schedule work as timestamped
+// events on a single Simulator. Simulated time is a float64 number of
+// seconds starting at zero. Events with equal timestamps fire in the order
+// they were scheduled, which keeps runs reproducible across platforms.
+package des
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrStopped is returned by Run variants when the simulation was stopped
+// explicitly via Stop rather than by exhausting the event queue or reaching
+// the horizon.
+var ErrStopped = errors.New("des: simulation stopped")
+
+// Event is a unit of scheduled work. The callback runs at the event's
+// timestamp with the simulator clock already advanced.
+type Event struct {
+	time   float64
+	seq    uint64 // tiebreaker: schedule order
+	index  int    // heap index, -1 when not queued
+	fn     func()
+	cancel bool
+}
+
+// Time returns the simulated time at which the event fires.
+func (e *Event) Time() float64 { return e.time }
+
+// Canceled reports whether Cancel was called on the event.
+func (e *Event) Canceled() bool { return e.cancel }
+
+// Cancel prevents a pending event from firing. Canceling an event that has
+// already fired or was already canceled is a no-op.
+func (e *Event) Cancel() { e.cancel = true }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].time != q[j].time {
+		return q[i].time < q[j].time
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Simulator owns the simulated clock and the pending event queue.
+// The zero value is ready to use.
+type Simulator struct {
+	now     float64
+	seq     uint64
+	queue   eventQueue
+	stopped bool
+	fired   uint64
+}
+
+// New returns a Simulator with the clock at zero.
+func New() *Simulator { return &Simulator{} }
+
+// Now returns the current simulated time in seconds.
+func (s *Simulator) Now() float64 { return s.now }
+
+// Fired returns the number of events that have executed so far.
+func (s *Simulator) Fired() uint64 { return s.fired }
+
+// Pending returns the number of events still queued (including canceled
+// events that have not yet been discarded).
+func (s *Simulator) Pending() int { return len(s.queue) }
+
+// At schedules fn to run at absolute simulated time t. Scheduling in the
+// past (t < Now) panics: it always indicates a model bug, and silently
+// reordering time would corrupt every downstream measurement.
+func (s *Simulator) At(t float64, fn func()) *Event {
+	if fn == nil {
+		panic("des: nil event callback")
+	}
+	if t < s.now {
+		panic(fmt.Sprintf("des: schedule at %v before now %v", t, s.now))
+	}
+	if math.IsNaN(t) {
+		panic("des: schedule at NaN")
+	}
+	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	s.seq++
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Stop halts the simulation after the currently executing event returns.
+func (s *Simulator) Stop() { s.stopped = true }
+
+// step executes the earliest pending event. It reports false when the queue
+// is empty. Canceled events are discarded without firing.
+func (s *Simulator) step() bool {
+	for len(s.queue) > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.cancel {
+			continue
+		}
+		s.now = e.time
+		s.fired++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the queue drains or Stop is called.
+// It returns ErrStopped in the latter case.
+func (s *Simulator) Run() error {
+	s.stopped = false
+	for !s.stopped {
+		if !s.step() {
+			return nil
+		}
+	}
+	return ErrStopped
+}
+
+// RunUntil executes events with timestamps <= horizon. The clock is left at
+// the horizon if the queue still holds later events, or at the last event
+// time if the queue drained. It returns ErrStopped if Stop was called.
+func (s *Simulator) RunUntil(horizon float64) error {
+	if horizon < s.now {
+		return fmt.Errorf("des: horizon %v before now %v", horizon, s.now)
+	}
+	s.stopped = false
+	for !s.stopped {
+		if len(s.queue) == 0 {
+			s.now = horizon
+			return nil
+		}
+		next := s.peek()
+		if next == nil {
+			s.now = horizon
+			return nil
+		}
+		if next.time > horizon {
+			s.now = horizon
+			return nil
+		}
+		s.step()
+	}
+	return ErrStopped
+}
+
+// peek returns the earliest non-canceled event without removing it,
+// discarding canceled events it encounters on the way.
+func (s *Simulator) peek() *Event {
+	for len(s.queue) > 0 {
+		e := s.queue[0]
+		if !e.cancel {
+			return e
+		}
+		heap.Pop(&s.queue)
+	}
+	return nil
+}
+
+// Ticker invokes fn every period seconds until Cancel is called on the
+// returned handle or the simulation ends.
+type Ticker struct {
+	sim    *Simulator
+	period float64
+	fn     func()
+	ev     *Event
+	done   bool
+}
+
+// Every starts a Ticker whose first firing is one period from now.
+// It panics if period is not positive.
+func (s *Simulator) Every(period float64, fn func()) *Ticker {
+	if period <= 0 {
+		panic("des: non-positive ticker period")
+	}
+	t := &Ticker{sim: s, period: period, fn: fn}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.period, func() {
+		if t.done {
+			return
+		}
+		t.fn()
+		if !t.done {
+			t.arm()
+		}
+	})
+}
+
+// Cancel stops the ticker. It is safe to call more than once.
+func (t *Ticker) Cancel() {
+	t.done = true
+	if t.ev != nil {
+		t.ev.Cancel()
+	}
+}

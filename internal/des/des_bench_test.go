@@ -1,0 +1,39 @@
+package des
+
+import "testing"
+
+func BenchmarkScheduleAndFire(b *testing.B) {
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.At(s.Now()+1, func() {})
+		s.step()
+	}
+}
+
+func BenchmarkHeapChurn(b *testing.B) {
+	// Keep 1024 events pending while firing, stressing heap reordering.
+	s := New()
+	for i := 0; i < 1024; i++ {
+		var rearm func()
+		rearm = func() { s.After(float64(i%7)+1, rearm) }
+		s.After(float64(i%7)+1, rearm)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+}
+
+func BenchmarkTicker(b *testing.B) {
+	s := New()
+	n := 0
+	s.Every(1, func() { n++ })
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.step()
+	}
+	if n == 0 {
+		b.Fatal("ticker never fired")
+	}
+}

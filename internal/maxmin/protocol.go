@@ -1,0 +1,489 @@
+package maxmin
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"armnet/internal/des"
+)
+
+// ProtocolOptions tunes the event-driven ADVERTISE/UPDATE protocol.
+type ProtocolOptions struct {
+	// Refined enables the paper's M(l) refinement: on new bandwidth a
+	// switch initiates ADVERTISE packets only for connections that
+	// consider the link a bottleneck; on reduced bandwidth only for
+	// connections whose recorded rate exceeds the advertised rate.
+	// When false the switch floods every connection on the link (the
+	// baseline of [8]).
+	Refined bool
+	// HopDelay is the one-hop control-packet latency in seconds.
+	HopDelay float64
+	// RoundTrips is the number of ADVERTISE round trips per adaptation
+	// session; the paper (citing [8]) requires four for convergence.
+	RoundTrips int
+	// Delta is the paper's δ: capacity increases smaller than Delta do
+	// not trigger adaptation (eqn. 2), bounding steady-state drift.
+	Delta float64
+}
+
+func (o ProtocolOptions) withDefaults() ProtocolOptions {
+	if o.HopDelay <= 0 {
+		o.HopDelay = 1e-3
+	}
+	if o.RoundTrips <= 0 {
+		o.RoundTrips = 4
+	}
+	if o.Delta < 0 {
+		o.Delta = 0
+	}
+	return o
+}
+
+// linkState is the per-link protocol state a switch maintains.
+type linkState struct {
+	name     string
+	capacity float64
+	// recorded is the last seen stamped rate per connection (§5.3.1).
+	recorded map[string]float64
+	// mSet is M(l): connections that consider this link a bottleneck.
+	mSet map[string]bool
+}
+
+func (ls *linkState) connIDs() []string {
+	out := make([]string, 0, len(ls.recorded))
+	for id := range ls.recorded {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// advertised computes μ_l from the current recorded rates.
+func (ls *linkState) advertised() float64 {
+	recorded := make([]float64, 0, len(ls.recorded))
+	for _, id := range ls.connIDs() {
+		recorded = append(recorded, ls.recorded[id])
+	}
+	return AdvertisedRate(ls.capacity, recorded)
+}
+
+// advertisedFor computes the stamped rate the switch would offer
+// connection c "under the assumption that this switch is a bottleneck for
+// this connection": c is forced unrestricted in the restricted-set
+// iteration.
+func (ls *linkState) advertisedFor(c string) float64 {
+	ids := ls.connIDs()
+	recorded := make([]float64, len(ids))
+	var forced = -1
+	for i, id := range ids {
+		recorded[i] = ls.recorded[id]
+		if id == c {
+			forced = i
+		}
+	}
+	n := len(recorded)
+	if n == 0 {
+		return ls.capacity
+	}
+	restricted := make([]bool, n)
+	mu := FairShare(ls.capacity, recorded, restricted)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i, r := range recorded {
+			want := r < mu && i != forced
+			if restricted[i] != want {
+				restricted[i] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		mu = FairShare(ls.capacity, recorded, restricted)
+	}
+	if mu < 0 {
+		mu = 0
+	}
+	return mu
+}
+
+// Protocol is the event-driven distributed rate allocator. Connections
+// register with their link paths; TriggerCapacityChange models a switch
+// detecting changed excess bandwidth and starts adaptation sessions whose
+// ADVERTISE packets travel hop by hop on the simulator. After the
+// configured round trips the initiator issues an UPDATE that commits the
+// new rate at every hop and fires OnUpdate.
+type Protocol struct {
+	Sim  *des.Simulator
+	Opts ProtocolOptions
+	// OnUpdate, when non-nil, observes every committed rate change.
+	OnUpdate func(conn string, rate float64)
+
+	links map[string]*linkState
+	conns map[string]*protoConn
+	// Messages counts ADVERTISE and UPDATE hops traversed — the metric
+	// for the flooding-vs-refined ablation.
+	Messages int
+	// Sessions counts adaptation sessions started.
+	Sessions int
+
+	active map[string]bool // per-connection session in flight
+	dirty  map[string]bool // session requested while one was active
+}
+
+type protoConn struct {
+	id     string
+	path   []string
+	demand float64
+	rate   float64
+}
+
+// NewProtocol builds a protocol instance over the simulator.
+func NewProtocol(sim *des.Simulator, opts ProtocolOptions) *Protocol {
+	return &Protocol{
+		Sim:    sim,
+		Opts:   opts.withDefaults(),
+		links:  make(map[string]*linkState),
+		conns:  make(map[string]*protoConn),
+		active: make(map[string]bool),
+		dirty:  make(map[string]bool),
+	}
+}
+
+// AddLink registers a link with its excess capacity.
+func (pr *Protocol) AddLink(name string, capacity float64) error {
+	if _, ok := pr.links[name]; ok {
+		return fmt.Errorf("maxmin: duplicate link %s", name)
+	}
+	if capacity < 0 {
+		return fmt.Errorf("%w: %s = %v", ErrBadCapacity, name, capacity)
+	}
+	pr.links[name] = &linkState{
+		name:     name,
+		capacity: capacity,
+		recorded: make(map[string]float64),
+		mSet:     make(map[string]bool),
+	}
+	return nil
+}
+
+// AddConn registers a connection; its initial rate is zero until an
+// adaptation session runs.
+func (pr *Protocol) AddConn(c Conn) error {
+	if _, ok := pr.conns[c.ID]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateConn, c.ID)
+	}
+	if len(c.Path) == 0 {
+		return fmt.Errorf("%w: %s", ErrEmptyPath, c.ID)
+	}
+	for _, l := range c.Path {
+		if _, ok := pr.links[l]; !ok {
+			return fmt.Errorf("%w: %s uses %s", ErrUnknownLink, c.ID, l)
+		}
+	}
+	demand := c.Demand
+	if demand < 0 {
+		return fmt.Errorf("%w: %s", ErrBadDemand, c.ID)
+	}
+	pc := &protoConn{id: c.ID, path: uniqueLinks(c.Path), demand: demand}
+	pr.conns[c.ID] = pc
+	for _, l := range pc.path {
+		pr.links[l].recorded[c.ID] = 0
+	}
+	return nil
+}
+
+// RemoveConn drops a connection and frees its recorded rates.
+func (pr *Protocol) RemoveConn(id string) {
+	pc, ok := pr.conns[id]
+	if !ok {
+		return
+	}
+	for _, l := range pc.path {
+		delete(pr.links[l].recorded, id)
+		delete(pr.links[l].mSet, id)
+	}
+	delete(pr.conns, id)
+	delete(pr.active, id)
+	delete(pr.dirty, id)
+}
+
+// Rates returns the current committed allocation.
+func (pr *Protocol) Rates() Allocation {
+	out := make(Allocation, len(pr.conns))
+	for id, c := range pr.conns {
+		out[id] = c.rate
+	}
+	return out
+}
+
+// Problem exports the current instance for comparison with WaterFill.
+func (pr *Protocol) Problem() Problem {
+	p := Problem{Capacity: make(map[string]float64, len(pr.links))}
+	for name, ls := range pr.links {
+		p.Capacity[name] = ls.capacity
+	}
+	ids := make([]string, 0, len(pr.conns))
+	for id := range pr.conns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		c := pr.conns[id]
+		p.Conns = append(p.Conns, Conn{ID: id, Path: append([]string(nil), c.path...), Demand: c.demand})
+	}
+	return p
+}
+
+// TriggerCapacityChange models the switch owning the link detecting a new
+// excess capacity (eqn. 2): decreases always trigger; increases trigger
+// only when they exceed δ and, under the refinement, only for connections
+// in M(l). Returns the number of sessions started.
+func (pr *Protocol) TriggerCapacityChange(link string, capacity float64) (int, error) {
+	ls, ok := pr.links[link]
+	if !ok {
+		return 0, fmt.Errorf("%w: %s", ErrUnknownLink, link)
+	}
+	if capacity < 0 {
+		return 0, fmt.Errorf("%w: %s = %v", ErrBadCapacity, link, capacity)
+	}
+	old := ls.capacity
+	increase := capacity > old
+	if increase && capacity-old <= pr.Opts.Delta {
+		return 0, nil // below the adaptation threshold
+	}
+	ls.capacity = capacity
+	adv := ls.advertised()
+	var targets []string
+	for _, id := range ls.connIDs() {
+		if !pr.Opts.Refined {
+			targets = append(targets, id)
+			continue
+		}
+		if increase {
+			// New bandwidth helps only connections bottlenecked here
+			// (M(l) is refreshed on every UPDATE, so it is current).
+			if ls.mSet[id] {
+				targets = append(targets, id)
+			}
+		} else {
+			// Reduced bandwidth hurts connections drawing more than the
+			// new advertised rate.
+			if ls.recorded[id] > adv {
+				targets = append(targets, id)
+			}
+		}
+	}
+	started := 0
+	for _, id := range targets {
+		if pr.startSession(id) {
+			started++
+		}
+	}
+	return started, nil
+}
+
+// KickAll starts a session for every registered connection — used after
+// connection setup/teardown, where the paper treats admission as carrying
+// the stamped rate in its forward pass.
+func (pr *Protocol) KickAll() {
+	ids := make([]string, 0, len(pr.conns))
+	for id := range pr.conns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		pr.startSession(id)
+	}
+}
+
+// Kick starts an adaptation session for a single connection — the entry
+// point for connection setup, where the paper's admission forward pass
+// carries the stamped rate.
+func (pr *Protocol) Kick(id string) bool { return pr.startSession(id) }
+
+// startSession begins the four-round-trip adaptation for one connection.
+// Overlapping requests coalesce: a second request during an active
+// session marks the connection dirty and reruns once.
+func (pr *Protocol) startSession(id string) bool {
+	if _, ok := pr.conns[id]; !ok {
+		return false
+	}
+	if pr.active[id] {
+		pr.dirty[id] = true
+		return false
+	}
+	pr.active[id] = true
+	pr.Sessions++
+	pr.runRound(id, 1, math.Inf(1))
+	return true
+}
+
+// runRound performs one ADVERTISE round trip: the packet sweeps the whole
+// path (out and back), clamping its stamped rate at every hop; prevStamp
+// carries the previous round's result so the UPDATE can take the minimum
+// of the two latest stamped rates as the paper prescribes.
+func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
+	pc, ok := pr.conns[id]
+	if !ok {
+		pr.finishSession(id)
+		return
+	}
+	stamp := pc.demand
+	hops := len(pc.path)
+	// Outbound + return: 2×hops control-packet transmissions.
+	pr.Messages += 2 * hops
+	travel := pr.Opts.HopDelay * float64(2*hops)
+	// Clamp at every hop in both directions; because clamping is
+	// idempotent per link we evaluate each link twice like the real
+	// packet would, letting later links see earlier updates.
+	for pass := 0; pass < 2; pass++ {
+		order := pc.path
+		if pass == 1 {
+			order = reversed(pc.path)
+		}
+		for _, lname := range order {
+			ls := pr.links[lname]
+			in := stamp
+			mu := ls.advertisedFor(id)
+			if mu < stamp {
+				stamp = mu
+			}
+			ls.recorded[id] = stamp
+			// Maintain M(l) per the paper's rule.
+			muAll := ls.advertised()
+			if muAll < in {
+				ls.mSet[id] = true
+			} else if muAll > in {
+				delete(ls.mSet, id)
+			}
+		}
+	}
+	final := stamp
+	pr.Sim.After(travel, func() {
+		if round < pr.Opts.RoundTrips {
+			pr.runRound(id, round+1, final)
+			return
+		}
+		rate := final
+		if prevStamp < rate {
+			rate = prevStamp
+		}
+		pr.sendUpdate(id, rate)
+	})
+}
+
+// sendUpdate commits the rate along the path and finishes the session.
+func (pr *Protocol) sendUpdate(id string, rate float64) {
+	pc, ok := pr.conns[id]
+	if !ok {
+		pr.finishSession(id)
+		return
+	}
+	pr.Messages += len(pc.path)
+	travel := pr.Opts.HopDelay * float64(len(pc.path))
+	// The UPDATE commits the recorded rate at every hop and refreshes
+	// M(l) membership: on the way out it collects each link's fresh
+	// offer μ_l = advertisedFor(conn); on the way back it marks exactly
+	// the links attaining the path minimum as the connection's
+	// bottlenecks (§5.2's definition). Membership computed mid-session
+	// goes stale once neighbors re-settle; without this refresh a later
+	// upgrade cascade can skip a connection that is in fact bottlenecked
+	// here and strand it below its maxmin share (see the
+	// stale-bottleneck regression test).
+	mus := make([]float64, len(pc.path))
+	minMu := math.Inf(1)
+	for i, lname := range pc.path {
+		ls := pr.links[lname]
+		ls.recorded[id] = rate
+		mus[i] = ls.advertisedFor(id)
+		if mus[i] < minMu {
+			minMu = mus[i]
+		}
+	}
+	for i, lname := range pc.path {
+		ls := pr.links[lname]
+		if mus[i] <= minMu+1e-9*(1+minMu) {
+			ls.mSet[id] = true
+		} else {
+			delete(ls.mSet, id)
+		}
+	}
+	pr.Sim.After(travel, func() {
+		changed := math.Abs(pc.rate-rate) > 1e-9*(1+math.Abs(rate))
+		pc.rate = rate
+		if changed && pr.OnUpdate != nil {
+			pr.OnUpdate(id, rate)
+		}
+		pr.finishSession(id)
+		if changed {
+			// A committed change can shift fair shares for neighbors;
+			// re-advertise to connections sharing a bottleneck, per the
+			// cascade rule of §5.3.1.
+			pr.cascade(id)
+		}
+	})
+}
+
+func (pr *Protocol) finishSession(id string) {
+	delete(pr.active, id)
+	if pr.dirty[id] {
+		delete(pr.dirty, id)
+		pr.startSession(id)
+	}
+}
+
+// cascade re-advertises connections that share a link with id and whose
+// recorded rate now deviates from the link's advertised rate by more than
+// δ (refined mode), or every sharing connection (naive mode).
+func (pr *Protocol) cascade(id string) {
+	pc, ok := pr.conns[id]
+	if !ok {
+		return
+	}
+	tol := pr.Opts.Delta
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	targets := map[string]bool{}
+	for _, lname := range pc.path {
+		ls := pr.links[lname]
+		adv := ls.advertised()
+		for _, other := range ls.connIDs() {
+			if other == id {
+				continue
+			}
+			if !pr.Opts.Refined {
+				targets[other] = true
+				continue
+			}
+			// Paper's rule: on upgrades re-advertise the bottleneck set
+			// M(l); on downgrades the connections drawing above the new
+			// advertised rate. M(l) is kept fresh at every UPDATE (see
+			// sendUpdate), which is what makes relying on it sound here —
+			// a connection that settled while its neighbors still held
+			// inflated rates is bottlenecked at this link and therefore
+			// *in* M(l), so it gets re-advertised when they release.
+			if ls.mSet[other] || ls.recorded[other] > adv+tol {
+				targets[other] = true
+			}
+		}
+	}
+	ids := make([]string, 0, len(targets))
+	for t := range targets {
+		ids = append(ids, t)
+	}
+	sort.Strings(ids)
+	for _, t := range ids {
+		pr.startSession(t)
+	}
+}
+
+func reversed(s []string) []string {
+	out := make([]string, len(s))
+	for i, v := range s {
+		out[len(s)-1-i] = v
+	}
+	return out
+}

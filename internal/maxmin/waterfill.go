@@ -1,0 +1,237 @@
+package maxmin
+
+import (
+	"math"
+	"sort"
+)
+
+// WaterFill computes the maxmin-fair allocation by the classic iterative
+// bottleneck algorithm: in each round, find the link (or demand) with the
+// smallest fair share among unfrozen connections, freeze every unfrozen
+// connection through it at that share, remove the consumed capacity, and
+// repeat. Runs in O(rounds · links · conns); rounds <= conns.
+//
+// The returned allocation is the paper's optimality target (§5.2): fair —
+// all connections constrained by a bottleneck get an equal share of it —
+// and efficient — every bottleneck is used to capacity.
+func WaterFill(p Problem) (Allocation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	alloc := make(Allocation, len(p.Conns))
+	frozen := make(map[string]bool, len(p.Conns))
+	remaining := make(map[string]float64, len(p.Capacity))
+	for l, c := range p.Capacity {
+		remaining[l] = c
+	}
+	// Index connections per link once.
+	onLink := map[string][]int{}
+	for i, c := range p.Conns {
+		seen := map[string]bool{}
+		for _, l := range c.Path {
+			if !seen[l] { // a loopy path counts a link once for sharing
+				seen[l] = true
+				onLink[l] = append(onLink[l], i)
+			}
+		}
+	}
+	links := p.sortedLinks()
+
+	for {
+		// Count unfrozen connections per link and find the tightest
+		// fair-share level.
+		level := math.Inf(1)
+		for _, l := range links {
+			n := 0
+			for _, ci := range onLink[l] {
+				if !frozen[p.Conns[ci].ID] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			share := remaining[l] / float64(n)
+			if share < level {
+				level = share
+			}
+		}
+		// Demands act as private links.
+		demandBound := false
+		for _, c := range p.Conns {
+			if !frozen[c.ID] && c.Demand < level {
+				level = c.Demand
+				demandBound = true
+			}
+		}
+		if math.IsInf(level, 1) {
+			break // nothing unfrozen anywhere
+		}
+		if level < 0 {
+			level = 0
+		}
+
+		// Freeze: first connections capped by demand at this level, then
+		// connections on saturated links.
+		progress := false
+		if demandBound {
+			for _, c := range p.Conns {
+				if frozen[c.ID] || c.Demand > level {
+					continue
+				}
+				alloc[c.ID] = c.Demand
+				frozen[c.ID] = true
+				progress = true
+				for _, l := range uniqueLinks(c.Path) {
+					remaining[l] -= c.Demand
+					if remaining[l] < 0 {
+						remaining[l] = 0
+					}
+				}
+			}
+		}
+		for _, l := range links {
+			n := 0
+			for _, ci := range onLink[l] {
+				if !frozen[p.Conns[ci].ID] {
+					n++
+				}
+			}
+			if n == 0 {
+				continue
+			}
+			if remaining[l]/float64(n) > level+1e-15*(1+level) {
+				continue // not the bottleneck this round
+			}
+			for _, ci := range onLink[l] {
+				c := p.Conns[ci]
+				if frozen[c.ID] {
+					continue
+				}
+				alloc[c.ID] = level
+				frozen[c.ID] = true
+				progress = true
+				for _, pl := range uniqueLinks(c.Path) {
+					remaining[pl] -= level
+					if remaining[pl] < 0 {
+						remaining[pl] = 0
+					}
+				}
+			}
+		}
+		if !progress {
+			// Numerical corner: freeze everything at the level.
+			for _, c := range p.Conns {
+				if !frozen[c.ID] {
+					alloc[c.ID] = level
+					frozen[c.ID] = true
+				}
+			}
+			break
+		}
+		allDone := true
+		for _, c := range p.Conns {
+			if !frozen[c.ID] {
+				allDone = false
+				break
+			}
+		}
+		if allDone {
+			break
+		}
+	}
+	for _, c := range p.Conns {
+		if _, ok := alloc[c.ID]; !ok {
+			alloc[c.ID] = 0
+		}
+	}
+	return alloc, nil
+}
+
+func uniqueLinks(path []string) []string {
+	seen := map[string]bool{}
+	out := make([]string, 0, len(path))
+	for _, l := range path {
+		if !seen[l] {
+			seen[l] = true
+			out = append(out, l)
+		}
+	}
+	return out
+}
+
+// FairShare computes the advertised rate μ_l of §5.3.1 for one link:
+// given the link's excess capacity, the recorded rate of every connection
+// on the link, and the restricted set R (connections bottlenecked
+// elsewhere, consuming their recorded rates), it evaluates
+//
+//	μ_l = b'_av                              if N_l = 0
+//	μ_l = b'_av - b'_R + max_{i∈R} b'_R,i    if N_l = N_R
+//	μ_l = (b'_av - b'_R) / (N_l - N_R)       otherwise
+//
+// restricted is indexed like recorded.
+func FairShare(capacity float64, recorded []float64, restricted []bool) float64 {
+	n := len(recorded)
+	if n == 0 {
+		return capacity
+	}
+	sumR, maxR := 0.0, 0.0
+	nR := 0
+	for i, r := range recorded {
+		if restricted[i] {
+			nR++
+			sumR += r
+			if r > maxR {
+				maxR = r
+			}
+		}
+	}
+	if nR == n {
+		return capacity - sumR + maxR
+	}
+	return (capacity - sumR) / float64(n-nR)
+}
+
+// AdvertisedRate computes the link's consistent advertised rate by the
+// restricted-set iteration the paper describes: start with every
+// connection unrestricted, compute μ, mark connections with recorded rate
+// below μ as restricted, and recompute. The paper notes one recalculation
+// suffices after unmarking; we iterate to the fixpoint (at most n rounds)
+// for robustness and assert convergence in tests.
+func AdvertisedRate(capacity float64, recorded []float64) float64 {
+	n := len(recorded)
+	if n == 0 {
+		return capacity
+	}
+	restricted := make([]bool, n)
+	mu := FairShare(capacity, recorded, restricted)
+	for iter := 0; iter <= n; iter++ {
+		changed := false
+		for i, r := range recorded {
+			want := r < mu
+			if restricted[i] != want {
+				restricted[i] = want
+				changed = true
+			}
+		}
+		if !changed {
+			break
+		}
+		mu = FairShare(capacity, recorded, restricted)
+	}
+	if mu < 0 {
+		mu = 0
+	}
+	return mu
+}
+
+// sortedIDs returns the connection IDs of an allocation in stable order;
+// exported tests use it for deterministic reporting.
+func sortedIDs(a Allocation) []string {
+	out := make([]string, 0, len(a))
+	for id := range a {
+		out = append(out, id)
+	}
+	sort.Strings(out)
+	return out
+}

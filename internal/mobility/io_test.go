@@ -1,0 +1,98 @@
+package mobility
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+func TestTraceCSVRoundTrip(t *testing.T) {
+	env, err := topology.BuildCampus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	orig, err := RandomWalk(env.Universe, []string{"a", "b", "c"}, 60, 600, randx.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := orig.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Moves) != len(orig.Moves) {
+		t.Fatalf("round trip lost moves: %d vs %d", len(got.Moves), len(orig.Moves))
+	}
+	for i := range got.Moves {
+		if got.Moves[i] != orig.Moves[i] {
+			t.Fatalf("move %d differs: %+v vs %+v", i, got.Moves[i], orig.Moves[i])
+		}
+	}
+}
+
+func TestReadCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"bad header":     "when,who,src,dst\n1,p,,A\n",
+		"bad time":       "time,portable,from,to\nnope,p,,A\n",
+		"empty portable": "time,portable,from,to\n1,,,A\n",
+		"empty dest":     "time,portable,from,to\n1,p,,\n",
+		"short row":      "time,portable,from,to\n1,p\n",
+		"broken chain":   "time,portable,from,to\n1,p,,A\n2,p,X,B\n",
+	}
+	for name, input := range cases {
+		if _, err := ReadCSV(strings.NewReader(input)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestReadCSVEmptyTrace(t *testing.T) {
+	tr, err := ReadCSV(strings.NewReader("time,portable,from,to\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Moves) != 0 {
+		t.Fatalf("moves = %d", len(tr.Moves))
+	}
+}
+
+// Property: any generated trace round-trips bit-exactly through CSV.
+func TestQuickCSVRoundTrip(t *testing.T) {
+	env, err := topology.BuildCampus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		orig, err := RandomWalk(env.Universe, []string{"x", "y"}, 45, 300, randx.New(seed))
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if err := orig.WriteCSV(&buf); err != nil {
+			return false
+		}
+		got, err := ReadCSV(&buf)
+		if err != nil {
+			return false
+		}
+		if len(got.Moves) != len(orig.Moves) {
+			return false
+		}
+		for i := range got.Moves {
+			if got.Moves[i] != orig.Moves[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,180 @@
+// Package mobility generates and replays user movement for the
+// experiments. The paper's evaluation (§7.1) is built on hand-collected
+// traces from the ECE building; since those traces were never published
+// beyond their aggregate counts, this package provides synthetic
+// generators calibrated to exactly those aggregates:
+//
+//   - OfficeWeek reproduces the Figure 4 office scenario (faculty 127
+//     C→D transits splitting 94/20/13 to A/B/other, students 218
+//     splitting 12/173/31, plus the 1384-transit background crowd);
+//   - MeetingClass reproduces the §7.1 classroom scenario (arrivals
+//     bunched in ~10 minutes around the start, departures in ~5 minutes
+//     after the end, with corridor walk-by traffic that never enters);
+//   - RandomWalk provides generic graph-walk mobility for integration
+//     scenarios.
+package mobility
+
+import (
+	"fmt"
+	"sort"
+
+	"armnet/internal/des"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+// Move is one mobility event: the portable appears in To (From == "" on
+// first placement) or hands off From → To at Time.
+type Move struct {
+	Portable string
+	From     topology.CellID
+	To       topology.CellID
+	Time     float64
+}
+
+// Trace is a time-ordered sequence of moves.
+type Trace struct {
+	Moves []Move
+}
+
+// Sort orders the trace by time (stable, so simultaneous moves keep
+// generation order).
+func (t *Trace) Sort() {
+	sort.SliceStable(t.Moves, func(i, j int) bool { return t.Moves[i].Time < t.Moves[j].Time })
+}
+
+// Append adds a move.
+func (t *Trace) Append(m Move) { t.Moves = append(t.Moves, m) }
+
+// Merge combines traces into one sorted trace.
+func Merge(traces ...*Trace) *Trace {
+	out := &Trace{}
+	for _, tr := range traces {
+		out.Moves = append(out.Moves, tr.Moves...)
+	}
+	out.Sort()
+	return out
+}
+
+// Duration returns the time of the last move, or 0 for an empty trace.
+func (t *Trace) Duration() float64 {
+	if len(t.Moves) == 0 {
+		return 0
+	}
+	return t.Moves[len(t.Moves)-1].Time
+}
+
+// Schedule replays the trace on a simulator, invoking handler for each
+// move at its timestamp. The trace must be sorted.
+func (t *Trace) Schedule(sim *des.Simulator, handler func(Move)) {
+	for _, m := range t.Moves {
+		m := m
+		sim.At(m.Time, func() { handler(m) })
+	}
+}
+
+// Validate checks that the trace is time-ordered and every portable's
+// moves chain correctly (each move starts where the previous ended).
+func (t *Trace) Validate() error {
+	last := map[string]topology.CellID{}
+	lastTime := 0.0
+	for i, m := range t.Moves {
+		if m.Time < lastTime {
+			return fmt.Errorf("mobility: move %d out of order (%v after %v)", i, m.Time, lastTime)
+		}
+		lastTime = m.Time
+		if prev, ok := last[m.Portable]; ok {
+			if m.From != prev {
+				return fmt.Errorf("mobility: move %d of %s starts at %s but portable was in %s",
+					i, m.Portable, m.From, prev)
+			}
+		} else if m.From != "" {
+			return fmt.Errorf("mobility: first move of %s has From=%s, want placement", m.Portable, m.From)
+		}
+		last[m.Portable] = m.To
+	}
+	return nil
+}
+
+// CountTransits tallies, for moves matching from→via, where the portable
+// went right after reaching via. It returns a map next→count — the §7.1
+// measurement ("for a total of K handoffs from cell C to cell D we
+// observed N into cell A, ...").
+func (t *Trace) CountTransits(from, via topology.CellID) map[topology.CellID]int {
+	out := map[topology.CellID]int{}
+	// Index each portable's moves in order.
+	byPortable := map[string][]Move{}
+	for _, m := range t.Moves {
+		byPortable[m.Portable] = append(byPortable[m.Portable], m)
+	}
+	for _, moves := range byPortable {
+		for i := 0; i+1 < len(moves); i++ {
+			if moves[i].From == from && moves[i].To == via && moves[i+1].From == via {
+				out[moves[i+1].To]++
+			}
+		}
+	}
+	return out
+}
+
+// walker tracks one portable's position while generating a trace.
+type walker struct {
+	id  string
+	at  topology.CellID
+	out *Trace
+}
+
+func newWalker(id string, start topology.CellID, t float64, out *Trace) *walker {
+	out.Append(Move{Portable: id, To: start, Time: t})
+	return &walker{id: id, at: start, out: out}
+}
+
+func (w *walker) moveTo(to topology.CellID, t float64) {
+	if to == w.at {
+		return
+	}
+	w.out.Append(Move{Portable: w.id, From: w.at, To: to, Time: t})
+	w.at = to
+}
+
+// walkPath moves the walker through the cells in order, spacing hops by
+// hopGap seconds starting at t; it returns the time after the last hop.
+func (w *walker) walkPath(path []topology.CellID, t, hopGap float64) float64 {
+	for _, c := range path {
+		w.moveTo(c, t)
+		t += hopGap
+	}
+	return t
+}
+
+// RandomWalk generates graph-walk mobility: each portable starts in a
+// uniformly chosen cell and repeatedly dwells Exp(1/meanDwell) before
+// hopping to a uniformly chosen neighbor, until the horizon.
+func RandomWalk(u *topology.Universe, portables []string, meanDwell, horizon float64, rng *randx.Rand) (*Trace, error) {
+	if meanDwell <= 0 || horizon <= 0 {
+		return nil, fmt.Errorf("mobility: dwell and horizon must be positive")
+	}
+	cells := u.Cells()
+	if len(cells) == 0 {
+		return nil, fmt.Errorf("mobility: empty universe")
+	}
+	out := &Trace{}
+	for _, id := range portables {
+		t := rng.Float64() * meanDwell
+		start := cells[rng.Intn(len(cells))].ID
+		w := newWalker(id, start, t, out)
+		for {
+			t += rng.Exp(1 / meanDwell)
+			if t > horizon {
+				break
+			}
+			nbs := u.Cell(w.at).Neighbors()
+			if len(nbs) == 0 {
+				continue
+			}
+			w.moveTo(nbs[rng.Intn(len(nbs))], t)
+		}
+	}
+	out.Sort()
+	return out, nil
+}

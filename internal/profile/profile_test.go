@@ -1,0 +1,354 @@
+package profile
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+func TestPortableProfilePredict(t *testing.T) {
+	p := NewPortableProfile("alice", 10)
+	if _, ok := p.Predict("C", "D"); ok {
+		t.Fatal("empty profile predicted")
+	}
+	// 3 handoffs C->D->A, 1 handoff C->D->B.
+	for i := 0; i < 3; i++ {
+		p.Record(Handoff{Portable: "alice", Prev: "C", From: "D", To: "A"})
+	}
+	p.Record(Handoff{Portable: "alice", Prev: "C", From: "D", To: "B"})
+	next, ok := p.Predict("C", "D")
+	if !ok || next != "A" {
+		t.Fatalf("predict = %v/%v, want A", next, ok)
+	}
+	// Different prev: unknown -> falls back via PredictAnyPrev.
+	if _, ok := p.Predict("E", "D"); ok {
+		t.Fatal("unknown prev predicted directly")
+	}
+	next, ok = p.PredictAnyPrev("D")
+	if !ok || next != "A" {
+		t.Fatalf("any-prev predict = %v/%v, want A", next, ok)
+	}
+}
+
+func TestPortableProfileExpiry(t *testing.T) {
+	p := NewPortableProfile("bob", 4)
+	// Fill with A-predictions, then push them out with B-predictions.
+	for i := 0; i < 4; i++ {
+		p.Record(Handoff{Prev: "C", From: "D", To: "A"})
+	}
+	for i := 0; i < 4; i++ {
+		p.Record(Handoff{Prev: "C", From: "D", To: "B"})
+	}
+	if p.Len() != 4 {
+		t.Fatalf("history len = %d, want 4", p.Len())
+	}
+	next, ok := p.Predict("C", "D")
+	if !ok || next != "B" {
+		t.Fatalf("after expiry predict = %v, want B", next)
+	}
+}
+
+func TestPortableProfileDeterministicTies(t *testing.T) {
+	p := NewPortableProfile("tie", 10)
+	p.Record(Handoff{Prev: "C", From: "D", To: "B"})
+	p.Record(Handoff{Prev: "C", From: "D", To: "A"})
+	next, ok := p.Predict("C", "D")
+	if !ok || next != "A" {
+		t.Fatalf("tie broken to %v, want lexicographic A", next)
+	}
+}
+
+func TestCellProfilePredictAndProbabilities(t *testing.T) {
+	c := NewCellProfile("D", 200, 60)
+	// From C, departures: 94 to A, 20 to B, 13 to F.
+	for i := 0; i < 94; i++ {
+		c.RecordDeparture(Handoff{Prev: "C", From: "D", To: "A", Time: float64(i)})
+	}
+	for i := 0; i < 20; i++ {
+		c.RecordDeparture(Handoff{Prev: "C", From: "D", To: "B", Time: float64(i)})
+	}
+	for i := 0; i < 13; i++ {
+		c.RecordDeparture(Handoff{Prev: "C", From: "D", To: "F", Time: float64(i)})
+	}
+	next, ok := c.Predict("C")
+	if !ok || next != "A" {
+		t.Fatalf("predict = %v, want A", next)
+	}
+	probs := c.Probabilities("C")
+	if math.Abs(probs["A"]-94.0/127) > 1e-9 {
+		t.Fatalf("P(A) = %v, want %v", probs["A"], 94.0/127)
+	}
+	// Unknown prev falls back to aggregate.
+	next, ok = c.Predict("X")
+	if !ok || next != "A" {
+		t.Fatalf("aggregate predict = %v, want A", next)
+	}
+	if got := c.Probabilities("X")["A"]; math.Abs(got-94.0/127) > 1e-9 {
+		t.Fatalf("aggregate P(A) = %v", got)
+	}
+}
+
+func TestCellProfileSlots(t *testing.T) {
+	c := NewCellProfile("M", 100, 60)
+	// Departures at t=10, 70, 75, 130.
+	for _, tm := range []float64{10, 70, 75, 130} {
+		c.RecordDeparture(Handoff{Prev: "x", From: "M", To: "y", Time: tm})
+	}
+	if c.DeparturesIn(0) != 1 || c.DeparturesIn(1) != 2 || c.DeparturesIn(2) != 1 {
+		t.Fatalf("slot counts = %d %d %d", c.DeparturesIn(0), c.DeparturesIn(1), c.DeparturesIn(2))
+	}
+	recent := c.RecentDepartures(130, 3)
+	if recent[0] != 1 || recent[1] != 2 || recent[2] != 1 {
+		t.Fatalf("recent = %v, want [1 2 1]", recent)
+	}
+	c.RecordArrival(Handoff{Portable: "p1", To: "M", Time: 65})
+	if c.ArrivalsIn(1) != 1 {
+		t.Fatalf("arrivals in slot 1 = %d", c.ArrivalsIn(1))
+	}
+}
+
+func TestCellProfileVisitorShare(t *testing.T) {
+	c := NewCellProfile("A", 100, 60)
+	for i := 0; i < 90; i++ {
+		c.RecordArrival(Handoff{Portable: "regular", To: "A"})
+	}
+	for i := 0; i < 10; i++ {
+		c.RecordArrival(Handoff{Portable: fmt.Sprintf("guest%d", i), To: "A"})
+	}
+	if c.Visitors() != 11 {
+		t.Fatalf("visitors = %d", c.Visitors())
+	}
+	if share := c.TopVisitorShare(1); math.Abs(share-0.9) > 1e-9 {
+		t.Fatalf("top share = %v", share)
+	}
+}
+
+func TestServerRecordAndPredictLevels(t *testing.T) {
+	s := NewServer("z", []topology.CellID{"C", "D", "A", "B"}, ServerOptions{})
+	// Alice's pattern: C->D->A.
+	for i := 0; i < 5; i++ {
+		s.RecordHandoff(Handoff{Portable: "alice", Prev: "", From: "C", To: "D", Time: float64(i)})
+		s.RecordHandoff(Handoff{Portable: "alice", Prev: "C", From: "D", To: "A", Time: float64(i) + 0.5})
+	}
+	// Crowd pattern through D goes to B.
+	for i := 0; i < 20; i++ {
+		s.RecordHandoff(Handoff{Portable: fmt.Sprintf("p%d", i), Prev: "C", From: "D", To: "B", Time: float64(i)})
+	}
+	// Level 1: portable profile wins for alice.
+	next, ok := s.PredictByPortable("alice", "C", "D")
+	if !ok || next != "A" {
+		t.Fatalf("portable prediction = %v, want A", next)
+	}
+	// Level 2: cell profile reflects the crowd.
+	next, ok = s.PredictByCell("D", "C")
+	if !ok || next != "B" {
+		t.Fatalf("cell prediction = %v, want B", next)
+	}
+	// Unknown portable: no level-1 prediction.
+	if _, ok := s.PredictByPortable("stranger", "C", "D"); ok {
+		t.Fatal("stranger predicted at level 1")
+	}
+	dist := s.HandoffDistribution("D", "C")
+	if math.Abs(dist["B"]-20.0/25) > 1e-9 {
+		t.Fatalf("distribution = %v", dist)
+	}
+}
+
+func TestServerIgnoresSelfHandoffs(t *testing.T) {
+	s := NewServer("z", []topology.CellID{"C"}, ServerOptions{})
+	s.RecordHandoff(Handoff{Portable: "a", From: "C", To: "C"})
+	if s.Cell("C").Len() != 0 {
+		t.Fatal("self-handoff recorded")
+	}
+}
+
+func TestServerExportImport(t *testing.T) {
+	s1 := NewServer("z1", []topology.CellID{"C", "D"}, ServerOptions{})
+	s2 := NewServer("z2", []topology.CellID{"E"}, ServerOptions{})
+	s1.RecordHandoff(Handoff{Portable: "alice", Prev: "C", From: "D", To: "E", Time: 1})
+	p, err := s1.ExportPortable("alice")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s1.ExportPortable("alice"); err == nil {
+		t.Fatal("double export succeeded")
+	}
+	s2.ImportPortable(p)
+	next, ok := s2.PredictByPortable("alice", "C", "D")
+	if !ok || next != "E" {
+		t.Fatalf("imported prediction = %v/%v, want E", next, ok)
+	}
+}
+
+func TestClassifyOffice(t *testing.T) {
+	c := NewCellProfile("A", 500, 60)
+	// One regular occupant entering and leaving many times.
+	for i := 0; i < 40; i++ {
+		c.RecordArrival(Handoff{Portable: "prof", To: "A", Time: float64(i * 100)})
+		c.RecordDeparture(Handoff{Portable: "prof", Prev: "D", From: "A", To: "D", Time: float64(i*100 + 50)})
+	}
+	if got := Classify(c, ClassifyOptions{}); got != topology.ClassOffice {
+		t.Fatalf("classified as %v, want office", got)
+	}
+}
+
+func TestClassifyCorridor(t *testing.T) {
+	c := NewCellProfile("D", 500, 60)
+	rng := randx.New(1)
+	// Many distinct portables passing straight through: C->D->E and
+	// E->D->C.
+	for i := 0; i < 120; i++ {
+		p := fmt.Sprintf("p%d", i)
+		tm := float64(i) * 30
+		c.RecordArrival(Handoff{Portable: p, To: "D", Time: tm})
+		if rng.Bernoulli(0.5) {
+			c.RecordDeparture(Handoff{Portable: p, Prev: "C", From: "D", To: "E", Time: tm + 5})
+		} else {
+			c.RecordDeparture(Handoff{Portable: p, Prev: "E", From: "D", To: "C", Time: tm + 5})
+		}
+	}
+	if got := Classify(c, ClassifyOptions{}); got != topology.ClassCorridor {
+		t.Fatalf("classified as %v, want corridor", got)
+	}
+}
+
+func TestClassifyMeetingRoom(t *testing.T) {
+	c := NewCellProfile("M", 500, 60)
+	// Handoff bursts around t=0 and t=3600, silence between.
+	for i := 0; i < 40; i++ {
+		p := fmt.Sprintf("s%d", i)
+		c.RecordArrival(Handoff{Portable: p, To: "M", Time: float64(i % 5)})
+		c.RecordDeparture(Handoff{Portable: p, Prev: "c1", From: "M", To: "c1", Time: 3600 + float64(i%5)})
+	}
+	// A trickle in between so the series is not empty.
+	c.RecordArrival(Handoff{Portable: "late", To: "M", Time: 1800})
+	if got := Classify(c, ClassifyOptions{}); got != topology.ClassMeetingRoom {
+		t.Fatalf("classified as %v, want meeting room", got)
+	}
+}
+
+func TestClassifyCafeteria(t *testing.T) {
+	c := NewCellProfile("cafe", 2000, 60)
+	rng := randx.New(2)
+	// Steady stream of distinct visitors from two directions with
+	// balanced onward movement (low directionality), smooth in time.
+	n := 0
+	for slot := 0; slot < 40; slot++ {
+		for k := 0; k < 10; k++ {
+			p := fmt.Sprintf("v%d", n)
+			n++
+			tm := float64(slot*60 + k*6)
+			c.RecordArrival(Handoff{Portable: p, To: "cafe", Time: tm})
+			prev := topology.CellID("c1")
+			if rng.Bernoulli(0.5) {
+				prev = "c2"
+			}
+			// Departures split evenly, including back where they came
+			// from, so corridor consistency stays low.
+			var to topology.CellID
+			switch rng.Intn(3) {
+			case 0:
+				to = "c1"
+			case 1:
+				to = "c2"
+			default:
+				to = "c3"
+			}
+			c.RecordDeparture(Handoff{Portable: p, Prev: prev, From: "cafe", To: to, Time: tm + 30})
+		}
+	}
+	if got := Classify(c, ClassifyOptions{}); got != topology.ClassCafeteria {
+		t.Fatalf("classified as %v, want cafeteria", got)
+	}
+}
+
+func TestClassifyUnknownWhenSparse(t *testing.T) {
+	c := NewCellProfile("x", 100, 60)
+	c.RecordArrival(Handoff{Portable: "p", To: "x", Time: 1})
+	if got := Classify(c, ClassifyOptions{}); got != topology.ClassUnknown {
+		t.Fatalf("classified as %v with 1 sample, want unknown", got)
+	}
+}
+
+// Property: cell-profile probabilities always sum to ~1 when history
+// exists, and every probability is in (0, 1].
+func TestQuickProbabilitiesNormalized(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := randx.New(seed)
+		c := NewCellProfile("D", 50, 60)
+		total := int(n%60) + 1
+		nexts := []topology.CellID{"A", "B", "F", "G"}
+		for i := 0; i < total; i++ {
+			c.RecordDeparture(Handoff{
+				Prev: "C",
+				From: "D",
+				To:   nexts[rng.Intn(len(nexts))],
+				Time: float64(i),
+			})
+		}
+		probs := c.Probabilities("C")
+		sum := 0.0
+		for _, p := range probs {
+			if p <= 0 || p > 1 {
+				return false
+			}
+			sum += p
+		}
+		return math.Abs(sum-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: portable profile history never exceeds its limit and
+// predictions always name a cell seen in retained history.
+func TestQuickPortableHistoryBound(t *testing.T) {
+	f := func(seed int64, n uint8) bool {
+		rng := randx.New(seed)
+		limit := int(n%20) + 1
+		p := NewPortableProfile("x", limit)
+		cells := []topology.CellID{"A", "B", "C", "D"}
+		for i := 0; i < 100; i++ {
+			p.Record(Handoff{
+				Prev: cells[rng.Intn(4)],
+				From: cells[rng.Intn(4)],
+				To:   cells[rng.Intn(4)],
+			})
+			if p.Len() > limit {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestServerAddCellAndSlotDuration(t *testing.T) {
+	s := NewServer("z", []topology.CellID{"A"}, ServerOptions{SlotDuration: 30})
+	s.AddCell("B")
+	if s.Cell("B") == nil {
+		t.Fatal("AddCell did not register")
+	}
+	if got := s.Cell("B").SlotDuration(); got != 30 {
+		t.Fatalf("slot duration = %v", got)
+	}
+	// Re-adding preserves the existing profile.
+	s.Cell("B").RecordArrival(Handoff{Portable: "p", To: "B", Time: 1})
+	s.AddCell("B")
+	if s.Cell("B").Visitors() != 1 {
+		t.Fatal("AddCell clobbered existing profile")
+	}
+	if s.Cell("ghost") != nil {
+		t.Fatal("unknown cell returned")
+	}
+	if got := s.Portables(); len(got) != 0 {
+		t.Fatalf("portables = %v", got)
+	}
+}

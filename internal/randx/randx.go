@@ -1,0 +1,199 @@
+// Package randx provides the deterministic random-variate helpers used by
+// the traffic and mobility models: exponential, Poisson, categorical, and
+// truncated-normal draws over a seeded math/rand source.
+//
+// Every experiment in this repository is seeded explicitly so that paper
+// figures regenerate bit-identically from run to run.
+package randx
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Rand wraps a seeded source with the distribution helpers the simulator
+// needs. It is not safe for concurrent use; the simulation is single-
+// threaded by design.
+type Rand struct {
+	src *rand.Rand
+}
+
+// New returns a deterministic generator for the given seed.
+func New(seed int64) *Rand {
+	return &Rand{src: rand.New(rand.NewSource(seed))}
+}
+
+// Float64 returns a uniform draw in [0, 1).
+func (r *Rand) Float64() float64 { return r.src.Float64() }
+
+// Intn returns a uniform draw in [0, n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int { return r.src.Intn(n) }
+
+// Perm returns a random permutation of [0, n).
+func (r *Rand) Perm(n int) []int { return r.src.Perm(n) }
+
+// Exp returns an exponential draw with the given rate (mean 1/rate).
+// It panics if rate is not positive.
+func (r *Rand) Exp(rate float64) float64 {
+	if rate <= 0 {
+		panic(fmt.Sprintf("randx: non-positive exponential rate %v", rate))
+	}
+	return r.src.ExpFloat64() / rate
+}
+
+// Poisson returns a Poisson draw with the given mean using inversion for
+// small means and the normal approximation guarded by a floor for large
+// ones. It panics if mean is negative.
+func (r *Rand) Poisson(mean float64) int {
+	if mean < 0 {
+		panic(fmt.Sprintf("randx: negative poisson mean %v", mean))
+	}
+	if mean == 0 {
+		return 0
+	}
+	if mean < 30 {
+		// Knuth inversion.
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.src.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+	// Normal approximation with continuity correction.
+	n := int(math.Round(r.src.NormFloat64()*math.Sqrt(mean) + mean))
+	if n < 0 {
+		n = 0
+	}
+	return n
+}
+
+// Normal returns a normal draw with the given mean and standard deviation.
+func (r *Rand) Normal(mean, stddev float64) float64 {
+	return r.src.NormFloat64()*stddev + mean
+}
+
+// TruncNormal returns a normal draw clamped to [lo, hi].
+// It panics if lo > hi.
+func (r *Rand) TruncNormal(mean, stddev, lo, hi float64) float64 {
+	if lo > hi {
+		panic(fmt.Sprintf("randx: truncation bounds inverted [%v, %v]", lo, hi))
+	}
+	v := r.Normal(mean, stddev)
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// Bernoulli returns true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.src.Float64() < p
+}
+
+// Categorical draws an index with probability proportional to weights[i].
+// Zero-weight entries are never selected. It panics if weights is empty or
+// if every weight is zero or negative.
+func (r *Rand) Categorical(weights []float64) int {
+	total := 0.0
+	for _, w := range weights {
+		if w > 0 {
+			total += w
+		}
+	}
+	if total <= 0 {
+		panic("randx: categorical with no positive weight")
+	}
+	u := r.src.Float64() * total
+	acc := 0.0
+	for i, w := range weights {
+		if w <= 0 {
+			continue
+		}
+		acc += w
+		if u < acc {
+			return i
+		}
+	}
+	// Floating-point slack: return the last positive-weight index.
+	for i := len(weights) - 1; i >= 0; i-- {
+		if weights[i] > 0 {
+			return i
+		}
+	}
+	panic("randx: unreachable")
+}
+
+// Binomial returns a draw from Binomial(n, p) by direct simulation for
+// small n and normal approximation for large n.
+func (r *Rand) Binomial(n int, p float64) int {
+	if n < 0 {
+		panic(fmt.Sprintf("randx: negative binomial n %d", n))
+	}
+	if p <= 0 || n == 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	if n <= 64 {
+		k := 0
+		for i := 0; i < n; i++ {
+			if r.src.Float64() < p {
+				k++
+			}
+		}
+		return k
+	}
+	mean := float64(n) * p
+	sd := math.Sqrt(mean * (1 - p))
+	k := int(math.Round(r.src.NormFloat64()*sd + mean))
+	if k < 0 {
+		k = 0
+	}
+	if k > n {
+		k = n
+	}
+	return k
+}
+
+// Shuffle permutes s in place.
+func Shuffle[T any](r *Rand, s []T) {
+	r.src.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+}
+
+// WeightedKeys draws a key from the map with probability proportional to
+// its weight, iterating keys in sorted order so the draw is deterministic
+// for a fixed seed. It panics on an empty map or all-nonpositive weights.
+func WeightedKeys[K interface {
+	~string | ~int | ~int64
+}](r *Rand, m map[K]float64) K {
+	if len(m) == 0 {
+		panic("randx: weighted draw from empty map")
+	}
+	keys := make([]K, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	weights := make([]float64, len(keys))
+	for i, k := range keys {
+		weights[i] = m[k]
+	}
+	return keys[r.Categorical(weights)]
+}

@@ -1,0 +1,77 @@
+package sched
+
+import "fmt"
+
+// FIFO is the no-QoS baseline scheduler: a single first-come-first-served
+// queue with no per-flow isolation. It exists to demonstrate what the
+// paper's WFQ/RCSP machinery buys — under FIFO a misbehaving flow starves
+// everyone (see TestFIFOFailsWhereWFQProtects).
+type FIFO struct {
+	flows map[string]bool
+	queue []Packet
+}
+
+// NewFIFO returns an empty FIFO scheduler.
+func NewFIFO() *FIFO { return &FIFO{flows: make(map[string]bool)} }
+
+// Name implements Scheduler.
+func (f *FIFO) Name() string { return "fifo" }
+
+// AddFlow implements Scheduler; the rate is recorded nowhere — FIFO
+// offers no reservations.
+func (f *FIFO) AddFlow(flow string, rate float64) error {
+	if f.flows[flow] {
+		return fmt.Errorf("%w: %s", ErrDuplicateFlow, flow)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("sched: flow %s rate must be positive, got %v", flow, rate)
+	}
+	f.flows[flow] = true
+	return nil
+}
+
+// RemoveFlow implements Scheduler.
+func (f *FIFO) RemoveFlow(flow string) {
+	delete(f.flows, flow)
+	kept := f.queue[:0]
+	for _, p := range f.queue {
+		if p.Flow != flow {
+			kept = append(kept, p)
+		}
+	}
+	f.queue = kept
+}
+
+// Enqueue implements Scheduler.
+func (f *FIFO) Enqueue(p Packet, now float64) error {
+	if !f.flows[p.Flow] {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, p.Flow)
+	}
+	if p.Size <= 0 {
+		return fmt.Errorf("sched: packet size must be positive, got %v", p.Size)
+	}
+	f.queue = append(f.queue, p)
+	return nil
+}
+
+// Dequeue implements Scheduler.
+func (f *FIFO) Dequeue(now float64) (Packet, bool) {
+	if len(f.queue) == 0 {
+		return Packet{}, false
+	}
+	p := f.queue[0]
+	copy(f.queue, f.queue[1:])
+	f.queue = f.queue[:len(f.queue)-1]
+	return p, true
+}
+
+// NextEligible implements Scheduler.
+func (f *FIFO) NextEligible(now float64) (float64, bool) {
+	if len(f.queue) > 0 {
+		return now, true
+	}
+	return 0, false
+}
+
+// Backlog implements Scheduler.
+func (f *FIFO) Backlog() int { return len(f.queue) }

@@ -1,0 +1,228 @@
+package sched
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// RCSP is a rate-controlled static-priority scheduler (Zhang [13], the
+// paper's footnote 7 variant with (σ, ρ) rate-jitter regulators). Each
+// connection's packets first pass a regulator that delays packet k until
+//
+//	ET(k) = max(arrival(k), ET(k-1) + size(k-1)/ρ)
+//
+// restoring the flow to its declared (σ, ρ) envelope, and then wait in a
+// FIFO queue at the connection's static priority level. The scheduler is
+// non-work-conserving: the link can idle while regulated packets are held,
+// which is what makes RCSP's per-hop buffer requirement (Table 2's RCSP
+// row) independent of the number of upstream hops' jitter accumulation.
+type RCSP struct {
+	flows  map[string]*rcspFlow
+	held   rcspHeap // packets inside regulators, keyed by eligibility time
+	levels []fifo   // static priority queues, index 0 = highest priority
+	seq    uint64
+}
+
+type rcspFlow struct {
+	rate     float64
+	priority int
+	lastET   float64
+	lastSize float64
+	hasPrev  bool
+	backlog  int
+}
+
+type rcspHeld struct {
+	pkt   Packet
+	et    float64
+	seq   uint64
+	index int
+}
+
+type rcspHeap []*rcspHeld
+
+func (h rcspHeap) Len() int { return len(h) }
+func (h rcspHeap) Less(i, j int) bool {
+	if h[i].et != h[j].et {
+		return h[i].et < h[j].et
+	}
+	return h[i].seq < h[j].seq
+}
+func (h rcspHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *rcspHeap) Push(x any) {
+	it := x.(*rcspHeld)
+	it.index = len(*h)
+	*h = append(*h, it)
+}
+func (h *rcspHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return it
+}
+
+type fifo struct{ items []Packet }
+
+func (f *fifo) push(p Packet) { f.items = append(f.items, p) }
+func (f *fifo) pop() (Packet, bool) {
+	if len(f.items) == 0 {
+		return Packet{}, false
+	}
+	p := f.items[0]
+	copy(f.items, f.items[1:])
+	f.items = f.items[:len(f.items)-1]
+	return p, true
+}
+func (f *fifo) len() int { return len(f.items) }
+
+// NewRCSP returns an RCSP scheduler with the given number of priority
+// levels (level 0 is served first).
+func NewRCSP(levels int) (*RCSP, error) {
+	if levels <= 0 {
+		return nil, fmt.Errorf("sched: rcsp needs >= 1 priority level, got %d", levels)
+	}
+	return &RCSP{
+		flows:  make(map[string]*rcspFlow),
+		levels: make([]fifo, levels),
+	}, nil
+}
+
+// Name implements Scheduler.
+func (r *RCSP) Name() string { return "rcsp" }
+
+// AddFlow implements Scheduler; the flow lands at the lowest priority.
+// Use AddFlowAt to choose the priority level.
+func (r *RCSP) AddFlow(flow string, rate float64) error {
+	return r.AddFlowAt(flow, rate, len(r.levels)-1)
+}
+
+// AddFlowAt registers a flow with a reserved rate at a priority level.
+func (r *RCSP) AddFlowAt(flow string, rate float64, priority int) error {
+	if _, ok := r.flows[flow]; ok {
+		return fmt.Errorf("%w: %s", ErrDuplicateFlow, flow)
+	}
+	if rate <= 0 {
+		return fmt.Errorf("sched: flow %s rate must be positive, got %v", flow, rate)
+	}
+	if priority < 0 || priority >= len(r.levels) {
+		return fmt.Errorf("sched: priority %d out of [0, %d)", priority, len(r.levels))
+	}
+	r.flows[flow] = &rcspFlow{rate: rate, priority: priority}
+	return nil
+}
+
+// RemoveFlow implements Scheduler.
+func (r *RCSP) RemoveFlow(flow string) {
+	delete(r.flows, flow)
+	kept := r.held[:0]
+	for _, h := range r.held {
+		if h.pkt.Flow != flow {
+			kept = append(kept, h)
+		}
+	}
+	r.held = kept
+	heap.Init(&r.held)
+	for i := range r.levels {
+		items := r.levels[i].items[:0]
+		for _, p := range r.levels[i].items {
+			if p.Flow != flow {
+				items = append(items, p)
+			}
+		}
+		r.levels[i].items = items
+	}
+}
+
+// Enqueue implements Scheduler: the packet enters its flow's regulator.
+func (r *RCSP) Enqueue(p Packet, now float64) error {
+	f, ok := r.flows[p.Flow]
+	if !ok {
+		return fmt.Errorf("%w: %s", ErrUnknownFlow, p.Flow)
+	}
+	if p.Size <= 0 {
+		return fmt.Errorf("sched: packet size must be positive, got %v", p.Size)
+	}
+	et := now
+	if f.hasPrev {
+		if spaced := f.lastET + f.lastSize/f.rate; spaced > et {
+			et = spaced
+		}
+	}
+	f.lastET = et
+	f.lastSize = p.Size
+	f.hasPrev = true
+	f.backlog++
+	p.Eligible = et
+	h := &rcspHeld{pkt: p, et: et, seq: r.seq}
+	r.seq++
+	heap.Push(&r.held, h)
+	return nil
+}
+
+// release moves all packets whose eligibility time has passed into their
+// priority queues.
+func (r *RCSP) release(now float64) {
+	for len(r.held) > 0 && r.held[0].et <= now {
+		h := heap.Pop(&r.held).(*rcspHeld)
+		f, ok := r.flows[h.pkt.Flow]
+		if !ok {
+			continue
+		}
+		r.levels[f.priority].push(h.pkt)
+	}
+}
+
+// Dequeue implements Scheduler.
+func (r *RCSP) Dequeue(now float64) (Packet, bool) {
+	r.release(now)
+	for i := range r.levels {
+		for {
+			p, ok := r.levels[i].pop()
+			if !ok {
+				break
+			}
+			f, ok := r.flows[p.Flow]
+			if !ok {
+				continue
+			}
+			f.backlog--
+			return p, true
+		}
+	}
+	return Packet{}, false
+}
+
+// NextEligible implements Scheduler.
+func (r *RCSP) NextEligible(now float64) (float64, bool) {
+	r.release(now)
+	ready := false
+	for i := range r.levels {
+		if r.levels[i].len() > 0 {
+			ready = true
+			break
+		}
+	}
+	if ready {
+		return now, true
+	}
+	if len(r.held) > 0 {
+		return math.Max(now, r.held[0].et), true
+	}
+	return 0, false
+}
+
+// Backlog implements Scheduler.
+func (r *RCSP) Backlog() int {
+	n := len(r.held)
+	for i := range r.levels {
+		n += r.levels[i].len()
+	}
+	return n
+}

@@ -1,0 +1,59 @@
+// Package sched implements the two scheduling disciplines the paper uses
+// to illustrate its admission tests (§5.1, Table 2, citing Zhang [13]):
+//
+//   - WFQ: work-conserving weighted fair queueing, a packetized
+//     approximation of GPS using virtual finish times.
+//   - RCSP: non-work-conserving rate-controlled static priority, with
+//     per-connection (σ, ρ) rate-jitter regulators in front of static
+//     priority queues.
+//
+// The package provides both runnable packet-level schedulers (used by the
+// link server in server.go to validate the bounds empirically) and the
+// closed-form per-hop delay/buffer formulas that Table 2's admission test
+// evaluates (bounds.go).
+package sched
+
+import (
+	"fmt"
+)
+
+// Packet is one packet inside a scheduler. Sizes are bits; times seconds.
+type Packet struct {
+	Flow    string
+	Size    float64
+	Arrival float64
+	// Eligible is set by RCSP regulators: the time the packet becomes
+	// visible to the static-priority stage.
+	Eligible float64
+}
+
+// Scheduler selects the order in which queued packets are served.
+// Implementations are not safe for concurrent use; the DES is single-
+// threaded.
+type Scheduler interface {
+	// AddFlow registers a flow before any packet of the flow arrives.
+	// rate is the flow's reserved service rate in bits/s.
+	AddFlow(flow string, rate float64) error
+	// RemoveFlow unregisters a flow; its queued packets are dropped.
+	RemoveFlow(flow string)
+	// Enqueue accepts a packet at simulated time now.
+	Enqueue(p Packet, now float64) error
+	// Dequeue pops the next packet to transmit at time now. ok is false
+	// when nothing is ready (for RCSP, packets may exist but still be
+	// held by regulators; NextEligible tells the server when to retry).
+	Dequeue(now float64) (Packet, bool)
+	// NextEligible returns the earliest future time a held packet
+	// becomes servable, or ok=false when no packet is held.
+	NextEligible(now float64) (float64, bool)
+	// Backlog returns the number of queued (including held) packets.
+	Backlog() int
+	// Name identifies the discipline ("wfq" or "rcsp").
+	Name() string
+}
+
+// ErrUnknownFlow is returned when a packet arrives for a flow that was
+// never added (or was removed).
+var ErrUnknownFlow = fmt.Errorf("sched: unknown flow")
+
+// ErrDuplicateFlow is returned when AddFlow is called twice for one name.
+var ErrDuplicateFlow = fmt.Errorf("sched: duplicate flow")

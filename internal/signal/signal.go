@@ -1,0 +1,224 @@
+// Package signal models the paper's connection-setup signaling (§5.1) as
+// actual control messages on the simulator: the forward pass travels the
+// route hop by hop placing *tentative* holds, the destination evaluates
+// the end-to-end tests, and the reverse pass commits the reservation (or
+// a rollback sweep releases the holds). Concurrent setups therefore race
+// realistically: two requests for the last slice of a link cannot both
+// win, and abandoned sessions time out and clean up.
+//
+// The atomic admission logic itself stays in internal/admission; this
+// package adds the latency, concurrency and failure semantics around it.
+package signal
+
+import (
+	"errors"
+	"fmt"
+
+	"armnet/internal/admission"
+	"armnet/internal/des"
+	"armnet/internal/topology"
+)
+
+// Errors reported to completion callbacks.
+var (
+	// ErrHopRejected is returned when a forward-pass hop lacks capacity
+	// (including capacity tentatively held by concurrent setups).
+	ErrHopRejected = errors.New("signal: rejected at hop")
+	// ErrEndToEnd is returned when the destination's Table 2 evaluation
+	// fails.
+	ErrEndToEnd = errors.New("signal: end-to-end test failed")
+	// ErrTimeout is returned when the session exceeded its deadline.
+	ErrTimeout = errors.New("signal: setup timed out")
+)
+
+// Options tunes the signaling plane.
+type Options struct {
+	// HopProcessing is the per-switch control processing time (default
+	// 200 µs).
+	HopProcessing float64
+	// Timeout aborts sessions that have not completed (default 2 s).
+	Timeout float64
+}
+
+func (o Options) withDefaults() Options {
+	if o.HopProcessing <= 0 {
+		o.HopProcessing = 200e-6
+	}
+	if o.Timeout <= 0 {
+		o.Timeout = 2
+	}
+	return o
+}
+
+// Result reports a finished setup session.
+type Result struct {
+	// Admission is the final outcome (zero value when the session never
+	// reached the atomic commit).
+	Admission admission.Result
+	// Latency is the elapsed setup time in simulated seconds.
+	Latency float64
+	// Err classifies failures (nil on success).
+	Err error
+	// FailedHop is the 1-based hop index of a forward-pass rejection.
+	FailedHop int
+}
+
+// Plane runs setup sessions against one admission controller.
+type Plane struct {
+	Sim  *des.Simulator
+	Ctl  *admission.Controller
+	opts Options
+	// pending holds tentative bandwidth per link from in-flight
+	// sessions, visible to competing forward passes.
+	pending map[topology.LinkID]float64
+	// Sessions counts sessions started; Commits counts successes.
+	Sessions, Commits, Rollbacks int
+}
+
+// NewPlane builds a signaling plane.
+func NewPlane(sim *des.Simulator, ctl *admission.Controller, opts Options) *Plane {
+	return &Plane{
+		Sim:     sim,
+		Ctl:     ctl,
+		opts:    opts.withDefaults(),
+		pending: make(map[topology.LinkID]float64),
+	}
+}
+
+// Pending returns the tentative holds on a link (for tests/diagnostics).
+func (p *Plane) Pending(id topology.LinkID) float64 { return p.pending[id] }
+
+// Setup starts a signaling session for the given admission test and
+// invokes done when it completes (success or failure). The callback runs
+// at the simulated completion time.
+func (p *Plane) Setup(t admission.Test, done func(Result)) {
+	p.Sessions++
+	start := p.Sim.Now()
+	s := &session{plane: p, test: t, done: done, start: start}
+	deadline := p.Sim.After(p.opts.Timeout, func() {
+		if s.finished {
+			return
+		}
+		s.rollback(len(s.held))
+		s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
+	})
+	s.deadline = deadline
+	s.forward(0)
+}
+
+type session struct {
+	plane    *Plane
+	test     admission.Test
+	done     func(Result)
+	start    float64
+	held     []topology.LinkID // links with tentative holds, in order
+	finished bool
+	deadline *des.Event
+}
+
+func (s *session) finish(r Result) {
+	if s.finished {
+		return
+	}
+	s.finished = true
+	if s.deadline != nil {
+		s.deadline.Cancel()
+	}
+	if s.done != nil {
+		s.done(r)
+	}
+}
+
+// hopDelay is the one-way control latency across one link.
+func (s *session) hopDelay(l *topology.Link) float64 {
+	return l.PropDelay + s.plane.opts.HopProcessing
+}
+
+// forward advances the setup packet to hop i (0-based); it performs the
+// bandwidth availability check against committed + pending holds, places
+// this session's tentative hold, and proceeds.
+func (s *session) forward(i int) {
+	if s.finished {
+		return
+	}
+	if i == len(s.test.Route.Links) {
+		s.atDestination()
+		return
+	}
+	link := s.test.Route.Links[i]
+	s.plane.Sim.After(s.hopDelay(link), func() {
+		if s.finished {
+			return
+		}
+		ls := s.plane.Ctl.Ledger.Link(link.ID)
+		if ls == nil {
+			s.rollback(i)
+			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			return
+		}
+		need := s.test.Req.Bandwidth.Min
+		avail := ls.Capacity - ls.AdvanceReserved - ls.Pool() - ls.SumMin() - s.plane.pending[link.ID]
+		if need > avail {
+			s.rollback(i)
+			s.finish(Result{Err: fmt.Errorf("%w %d (%s)", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			return
+		}
+		s.plane.pending[link.ID] += need
+		s.held = append(s.held, link.ID)
+		s.forward(i + 1)
+	})
+}
+
+// atDestination runs the atomic end-to-end admission (the Table 2
+// destination tests plus the commit) and starts the reverse pass.
+func (s *session) atDestination() {
+	// Release our own tentative holds first: the atomic Admit must see
+	// the ledger without them (they exist to serialize against
+	// *concurrent* sessions, which still hold theirs).
+	s.releaseHolds()
+	res, err := s.plane.Ctl.Admit(s.test)
+	if err != nil {
+		s.finish(Result{Err: err, Latency: s.plane.Sim.Now() - s.start})
+		return
+	}
+	if !res.Admitted {
+		s.plane.Rollbacks++
+		s.finish(Result{
+			Admission: res,
+			Err:       fmt.Errorf("%w: %s at %s", ErrEndToEnd, res.Reason, res.FailedLink),
+			Latency:   s.plane.Sim.Now() - s.start,
+		})
+		return
+	}
+	// Reverse pass back to the source: the reservation is committed; the
+	// session completes when the confirmation reaches the source.
+	total := 0.0
+	for _, l := range s.test.Route.Links {
+		total += s.hopDelay(l)
+	}
+	s.plane.Sim.After(total, func() {
+		s.plane.Commits++
+		s.finish(Result{Admission: res, Latency: s.plane.Sim.Now() - s.start})
+	})
+}
+
+// releaseHolds removes this session's tentative holds.
+func (s *session) releaseHolds() {
+	for _, id := range s.held {
+		s.plane.pending[id] -= s.test.Req.Bandwidth.Min
+		if s.plane.pending[id] <= 1e-12 {
+			delete(s.plane.pending, id)
+		}
+	}
+	s.held = nil
+}
+
+// rollback releases holds after a failure at hop i; the release messages
+// travel back toward the source (latency is charged to the session's
+// reported Latency implicitly, since holds release immediately in state
+// but the session has already failed).
+func (s *session) rollback(i int) {
+	_ = i
+	s.plane.Rollbacks++
+	s.releaseHolds()
+}

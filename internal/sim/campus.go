@@ -1,0 +1,340 @@
+package sim
+
+import (
+	"fmt"
+
+	"armnet/internal/core"
+	"armnet/internal/des"
+	"armnet/internal/mobility"
+	"armnet/internal/predict"
+	"armnet/internal/profile"
+	"armnet/internal/qos"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+// CampusConfig drives the integrated campus scenario: random-walking
+// portables carrying QoS-bounded connections through the full resource
+// manager under a chosen reservation mode.
+type CampusConfig struct {
+	Seed int64
+	// Portables is the population size (default 24).
+	Portables int
+	// Duration is the simulated time in seconds (default 3600).
+	Duration float64
+	// Dwell is the mean cell dwell time (default 180 s).
+	Dwell float64
+	// Mode selects the advance-reservation strategy.
+	Mode core.ReservationMode
+	// BMin/BMax are the per-connection bandwidth bounds (defaults
+	// 32k/128k).
+	BMin, BMax float64
+	// Tth overrides the static/mobile threshold (0 = manager default).
+	Tth float64
+}
+
+func (c CampusConfig) withDefaults() CampusConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Portables <= 0 {
+		c.Portables = 24
+	}
+	if c.Duration <= 0 {
+		c.Duration = 3600
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 180
+	}
+	if c.BMin <= 0 {
+		c.BMin = 32e3
+	}
+	if c.BMax <= 0 {
+		c.BMax = 128e3
+	}
+	return c
+}
+
+// CampusResult summarizes one integrated run.
+type CampusResult struct {
+	Mode core.ReservationMode
+	// DropRate is dropped handoffs / attempted.
+	DropRate float64
+	// BlockRate is blocked new connections / requested.
+	BlockRate float64
+	// AdvanceReservations counts reservation placements.
+	AdvanceReservations int64
+	// PoolClaims counts unpredicted handoffs.
+	PoolClaims int64
+	// PredictedLatency / UnpredictedLatency are mean handoff signaling
+	// latencies in seconds (0 when no samples).
+	PredictedLatency, UnpredictedLatency float64
+	// PredictedShare is the fraction of handoffs that were predicted.
+	PredictedShare float64
+	// Handoffs is the attempted count.
+	Handoffs int64
+}
+
+// RunCampus executes the integrated scenario and returns its metrics.
+func RunCampus(cfg CampusConfig) (CampusResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := topology.BuildCampus()
+	if err != nil {
+		return CampusResult{}, err
+	}
+	simulator := des.New()
+	mgr, err := core.NewManager(simulator, env, core.Config{Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth})
+	if err != nil {
+		return CampusResult{}, err
+	}
+	names := make([]string, cfg.Portables)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%02d", i)
+	}
+	trace, err := mobility.RandomWalk(env.Universe, names, cfg.Dwell, cfg.Duration, randx.New(cfg.Seed+1))
+	if err != nil {
+		return CampusResult{}, err
+	}
+	req := qos.Request{
+		Bandwidth: qos.Bounds{Min: cfg.BMin, Max: cfg.BMax},
+		Delay:     5, Jitter: 5, Loss: 0.05,
+		Traffic: qos.TrafficSpec{Sigma: cfg.BMin / 4, Rho: cfg.BMin},
+	}
+	trace.Schedule(simulator, func(mv mobility.Move) {
+		if mv.From == "" {
+			if err := mgr.PlacePortable(mv.Portable, mv.To); err == nil {
+				_, _ = mgr.OpenConnection(mv.Portable, req)
+			}
+			return
+		}
+		_ = mgr.HandoffPortable(mv.Portable, mv.To)
+	})
+	if err := simulator.RunUntil(cfg.Duration); err != nil {
+		return CampusResult{}, err
+	}
+	c := mgr.Met.Counter
+	res := CampusResult{
+		Mode:                cfg.Mode,
+		DropRate:            c.Ratio(core.CtrHandoffDropped, core.CtrHandoffTried),
+		BlockRate:           c.Ratio(core.CtrNewBlocked, core.CtrNewRequested),
+		AdvanceReservations: c.Get(core.CtrAdvanceResv),
+		PoolClaims:          c.Get(core.CtrPoolClaims),
+		Handoffs:            c.Get(core.CtrHandoffTried),
+	}
+	res.PredictedLatency = mgr.Latency.Predicted.Mean()
+	res.UnpredictedLatency = mgr.Latency.Unpredicted.Mean()
+	if n := mgr.Latency.Predicted.N() + mgr.Latency.Unpredicted.N(); n > 0 {
+		res.PredictedShare = float64(mgr.Latency.Predicted.N()) / float64(n)
+	}
+	return res, nil
+}
+
+// TthPoint is one sample of the T_th sensitivity sweep.
+type TthPoint struct {
+	Tth float64
+	CampusResult
+}
+
+// RunTthSensitivity sweeps the static/mobile threshold (DESIGN.md's T_th
+// ablation): small T_th flips portables static quickly (fewer advance
+// reservations, more unpredicted handoffs on re-moves); large T_th keeps
+// everyone mobile (maximum reservations).
+func RunTthSensitivity(cfg CampusConfig, thresholds []float64) ([]TthPoint, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{30, 120, 300, 900}
+	}
+	var out []TthPoint
+	for _, tth := range thresholds {
+		c := cfg
+		c.Tth = tth
+		r, err := RunCampus(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, TthPoint{Tth: tth, CampusResult: r})
+	}
+	return out, nil
+}
+
+// RunCampusComparison runs the scenario under all three reservation modes
+// with the same seed and mobility.
+func RunCampusComparison(cfg CampusConfig) ([]CampusResult, error) {
+	var out []CampusResult
+	for _, mode := range []core.ReservationMode{core.ModePredictive, core.ModeBruteForce, core.ModeNone} {
+		c := cfg
+		c.Mode = mode
+		r, err := RunCampus(c)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// GridConfig drives the scale scenario: a rows×cols office building with
+// a large random-walking population, exercising the integrated manager
+// well beyond the paper's seven-cell wing.
+type GridConfig struct {
+	Seed       int64
+	Rows, Cols int
+	Portables  int
+	Duration   float64
+	Dwell      float64
+	Mode       core.ReservationMode
+}
+
+func (c GridConfig) withDefaults() GridConfig {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Rows <= 0 {
+		c.Rows = 4
+	}
+	if c.Cols <= 1 {
+		c.Cols = 6
+	}
+	if c.Portables <= 0 {
+		c.Portables = 80
+	}
+	if c.Duration <= 0 {
+		c.Duration = 1800
+	}
+	if c.Dwell <= 0 {
+		c.Dwell = 150
+	}
+	return c
+}
+
+// GridResult summarizes a scale run.
+type GridResult struct {
+	CampusResult
+	Cells  int
+	Events uint64
+}
+
+// RunGrid executes the scale scenario.
+func RunGrid(cfg GridConfig) (GridResult, error) {
+	cfg = cfg.withDefaults()
+	env, err := topology.BuildGrid(cfg.Rows, cfg.Cols, 1.6e6)
+	if err != nil {
+		return GridResult{}, err
+	}
+	simulator := des.New()
+	mgr, err := core.NewManager(simulator, env, core.Config{Seed: cfg.Seed, Mode: cfg.Mode})
+	if err != nil {
+		return GridResult{}, err
+	}
+	names := make([]string, cfg.Portables)
+	for i := range names {
+		names[i] = fmt.Sprintf("p%03d", i)
+	}
+	trace, err := mobility.RandomWalk(env.Universe, names, cfg.Dwell, cfg.Duration, randx.New(cfg.Seed+1))
+	if err != nil {
+		return GridResult{}, err
+	}
+	req := qos.Request{
+		Bandwidth: qos.Bounds{Min: 32e3, Max: 128e3},
+		Delay:     5, Jitter: 5, Loss: 0.05,
+		Traffic: qos.TrafficSpec{Sigma: 8e3, Rho: 32e3},
+	}
+	trace.Schedule(simulator, func(mv mobility.Move) {
+		if mv.From == "" {
+			if err := mgr.PlacePortable(mv.Portable, mv.To); err == nil {
+				_, _ = mgr.OpenConnection(mv.Portable, req)
+			}
+			return
+		}
+		_ = mgr.HandoffPortable(mv.Portable, mv.To)
+	})
+	if err := simulator.RunUntil(cfg.Duration); err != nil {
+		return GridResult{}, err
+	}
+	c := mgr.Met.Counter
+	res := GridResult{Cells: env.Universe.Len(), Events: simulator.Fired()}
+	res.Mode = cfg.Mode
+	res.DropRate = c.Ratio(core.CtrHandoffDropped, core.CtrHandoffTried)
+	res.BlockRate = c.Ratio(core.CtrNewBlocked, core.CtrNewRequested)
+	res.AdvanceReservations = c.Get(core.CtrAdvanceResv)
+	res.PoolClaims = c.Get(core.CtrPoolClaims)
+	res.Handoffs = c.Get(core.CtrHandoffTried)
+	res.PredictedLatency = mgr.Latency.Predicted.Mean()
+	res.UnpredictedLatency = mgr.Latency.Unpredicted.Mean()
+	if n := mgr.Latency.Predicted.N() + mgr.Latency.Unpredicted.N(); n > 0 {
+		res.PredictedShare = float64(mgr.Latency.Predicted.N()) / float64(n)
+	}
+	return res, nil
+}
+
+// CorridorResult reports the §6.1 linear-movement prediction study.
+type CorridorResult struct {
+	Transits int
+	Correct  int
+}
+
+// Accuracy returns Correct/Transits.
+func (c CorridorResult) Accuracy() float64 {
+	if c.Transits == 0 {
+		return 0
+	}
+	return float64(c.Correct) / float64(c.Transits)
+}
+
+// RunCorridor validates the paper's corridor claim ("users typically move
+// in the same direction across the cell, i.e. knowing the previous cell,
+// the next cell can be predicted easily"): anonymous portables stream
+// down a corridor chain in both directions; after a training phase the
+// cell-profile predictor must call the next segment almost perfectly.
+func RunCorridor(seed int64, length, walkers int) (CorridorResult, error) {
+	if length < 4 {
+		length = 6
+	}
+	if walkers <= 0 {
+		walkers = 200
+	}
+	env, err := topology.BuildCorridor(length, 1.6e6)
+	if err != nil {
+		return CorridorResult{}, err
+	}
+	pred := predictNew(env)
+	rng := randx.New(seed)
+	cell := func(i int) topology.CellID { return topology.CellID(fmt.Sprintf("c%d", i)) }
+	res := CorridorResult{}
+	for w := 0; w < walkers; w++ {
+		id := fmt.Sprintf("w%d", w)
+		forward := rng.Bernoulli(0.5)
+		evaluate := w >= walkers/2 // first half trains
+		path := make([]int, length)
+		for i := range path {
+			if forward {
+				path[i] = i
+			} else {
+				path[i] = length - 1 - i
+			}
+		}
+		prev := topology.CellID("")
+		for i := 0; i+1 < len(path); i++ {
+			from, to := cell(path[i]), cell(path[i+1])
+			if evaluate && i > 0 {
+				// In `from`, having come from prev: predict.
+				d := pred.NextCell(id, prev, from)
+				res.Transits++
+				if d.Target == to {
+					res.Correct++
+				}
+			}
+			pred.RecordHandoff(profile.Handoff{
+				Portable: id, Prev: prev, From: from, To: to,
+				Time: float64(w*length + i),
+			})
+			prev = from
+		}
+	}
+	return res, nil
+}
+
+// predictNew builds a predictor for an environment (indirection avoids an
+// import cycle in callers that only need the corridor study).
+func predictNew(env *topology.Environment) *predict.Predictor {
+	return predict.New(env.Universe, profile.ServerOptions{NpC: 100000})
+}

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"armnet/internal/mobility"
+	"armnet/internal/randx"
+)
+
+// Figure2Config drives the lounge handoff-activity illustration.
+type Figure2Config struct {
+	Seed int64
+	// Students and WalkBys parameterize the underlying meeting scenario.
+	Students, WalkBys int
+	// SlotMinutes is the histogram bin width (default 5).
+	SlotMinutes int
+}
+
+// Figure2Result is the activity histogram of a lounge over the scenario.
+type Figure2Result struct {
+	SlotMinutes int
+	// Activity is handoffs into+out of the lounge per slot.
+	Activity []int
+}
+
+// RunFigure2 reproduces the paper's Figure 2 sketch — the spiky handoff
+// activity profile of a lounge (meeting room) over time — from the
+// simulated classroom scenario.
+func RunFigure2(cfg Figure2Config) (Figure2Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.Students <= 0 {
+		cfg.Students = 40
+	}
+	if cfg.WalkBys < 0 {
+		cfg.WalkBys = 0
+	}
+	if cfg.SlotMinutes <= 0 {
+		cfg.SlotMinutes = 5
+	}
+	mcfg := mobility.MeetingClassConfig{
+		Students: cfg.Students,
+		Start:    3600,
+		End:      3600 + 50*60,
+		WalkBys:  cfg.WalkBys,
+	}
+	mcfg.Horizon = mcfg.End + 1800
+	tr, err := mobility.MeetingClass(mcfg, randx.New(cfg.Seed))
+	if err != nil {
+		return Figure2Result{}, err
+	}
+	slot := float64(cfg.SlotMinutes) * 60
+	return Figure2Result{
+		SlotMinutes: cfg.SlotMinutes,
+		Activity:    mobility.HandoffSeries(tr, "M", mobility.Touch, slot, mcfg.Horizon),
+	}, nil
+}
+
+// String renders the histogram as an ASCII sketch like the paper's
+// figure.
+func (r Figure2Result) String() string {
+	var b strings.Builder
+	max := 1
+	for _, v := range r.Activity {
+		if v > max {
+			max = v
+		}
+	}
+	for i, v := range r.Activity {
+		bar := strings.Repeat("#", v*50/max)
+		fmt.Fprintf(&b, "%4d min |%-50s| %d\n", i*r.SlotMinutes, bar, v)
+	}
+	return b.String()
+}

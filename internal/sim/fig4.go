@@ -1,0 +1,173 @@
+// Package sim contains the experiment harnesses that regenerate every
+// table and figure of the paper's evaluation (§7), plus the Theorem 1
+// convergence study and the ablations DESIGN.md calls out. Each
+// experiment is a pure function of its config and seed, returning a
+// structured result that cmd/paperfigs renders and bench_test.go times.
+package sim
+
+import (
+	"fmt"
+	"strings"
+
+	"armnet/internal/mobility"
+	"armnet/internal/predict"
+	"armnet/internal/profile"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+// Figure4Config drives the §7.1 office-prediction experiment.
+type Figure4Config struct {
+	Seed int64
+	// TrainFraction of the trace trains the profiles; the rest is
+	// evaluated (default 0.5).
+	TrainFraction float64
+}
+
+// PersonaResult is the per-persona outcome of the prediction study.
+type PersonaResult struct {
+	Persona string
+	// Transits is the number of evaluated C→D transits.
+	Transits int
+	// Correct counts next-cell predictions that matched the actual
+	// eventual destination.
+	Correct int
+	// ByLevel counts correct predictions per prediction level.
+	ByLevel map[predict.Level]int
+	// ReservedCells is the total number of cells the predictive
+	// algorithm advance-reserved in (one per reserve decision).
+	ReservedCells int
+	// BruteForceCells is what brute force would have reserved (the
+	// neighborhood size at each decision).
+	BruteForceCells int
+}
+
+// Accuracy returns Correct/Transits.
+func (p PersonaResult) Accuracy() float64 {
+	if p.Transits == 0 {
+		return 0
+	}
+	return float64(p.Correct) / float64(p.Transits)
+}
+
+// Figure4Result bundles the experiment outcome.
+type Figure4Result struct {
+	Faculty  PersonaResult
+	Students PersonaResult
+	Crowd    PersonaResult
+	// MeasuredDeck echoes the calibrated trace aggregates so the output
+	// can be checked against the paper's published counts.
+	FacultyDeck, StudentDeck, CrowdDeck mobility.Deck
+}
+
+// RunFigure4 generates the calibrated ECE-building workweek, trains the
+// profile machinery on the first part, then evaluates next-cell
+// prediction on the remainder — quantifying the paper's two §7.1 claims:
+// deterministic reservation for office occupants is valid, and brute
+// force advance reservation is extremely wasteful.
+func RunFigure4(cfg Figure4Config) (Figure4Result, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
+		cfg.TrainFraction = 0.5
+	}
+	env, err := topology.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	rng := randx.New(cfg.Seed)
+	wcfg := mobility.PaperOfficeWeek("faculty", []string{"stu-a", "stu-b", "stu-c"})
+	trace, err := mobility.OfficeWeek(wcfg, rng)
+	if err != nil {
+		return Figure4Result{}, err
+	}
+	pred := predict.New(env.Universe, profile.ServerOptions{NpP: 500, NpC: 5000})
+
+	cut := trace.Duration() * cfg.TrainFraction
+	res := Figure4Result{
+		Faculty:  PersonaResult{Persona: "faculty", ByLevel: map[predict.Level]int{}},
+		Students: PersonaResult{Persona: "students", ByLevel: map[predict.Level]int{}},
+		Crowd:    PersonaResult{Persona: "crowd", ByLevel: map[predict.Level]int{}},
+	}
+	persona := func(p string) *PersonaResult {
+		switch {
+		case p == "faculty":
+			return &res.Faculty
+		case strings.HasPrefix(p, "stu-"):
+			return &res.Students
+		default:
+			return &res.Crowd
+		}
+	}
+
+	// Replay the trace: record every handoff into the profiles; when an
+	// evaluation-phase portable lands in D from C, compare the §6
+	// prediction against where it actually goes next.
+	type pending struct {
+		pr      *PersonaResult
+		decided predict.Decision
+	}
+	waiting := map[string]*pending{}
+	prevCell := map[string]topology.CellID{}
+	for _, mv := range trace.Moves {
+		if mv.From == "" {
+			prevCell[mv.Portable] = ""
+			continue
+		}
+		// Resolve a pending prediction: the move out of D tells us the
+		// immediate destination; OfficeOutcomes-style, B is reached via
+		// E, so follow one more hop when the move goes to E.
+		if w, ok := waiting[mv.Portable]; ok && mv.From == "D" {
+			actual := mv.To
+			if w.decided.Action == predict.ActionReserve {
+				target := w.decided.Target
+				ok := target == actual || (target == "B" && actual == "E")
+				if ok {
+					w.pr.Correct++
+					w.pr.ByLevel[w.decided.Level]++
+				}
+			}
+			delete(waiting, mv.Portable)
+		}
+		if mv.Time >= cut && mv.From == "C" && mv.To == "D" {
+			pr := persona(mv.Portable)
+			// The portable is now in D and came from C: prev = C.
+			d := pred.NextCell(mv.Portable, mv.From, "D")
+			pr.Transits++
+			if d.Action == predict.ActionReserve {
+				pr.ReservedCells++
+			}
+			nb := env.Universe.Cell("D").Neighbors()
+			pr.BruteForceCells += len(nb)
+			waiting[mv.Portable] = &pending{pr: pr, decided: d}
+		}
+		pred.RecordHandoff(profile.Handoff{
+			Portable: mv.Portable,
+			Prev:     prevCell[mv.Portable],
+			From:     mv.From,
+			To:       mv.To,
+			Time:     mv.Time,
+		})
+		prevCell[mv.Portable] = mv.From
+	}
+
+	res.FacultyDeck = mobility.OfficeOutcomes(trace, func(p string) bool { return p == "faculty" })
+	res.StudentDeck = mobility.OfficeOutcomes(trace, func(p string) bool { return strings.HasPrefix(p, "stu-") })
+	res.CrowdDeck = mobility.OfficeOutcomes(trace, func(p string) bool { return strings.HasPrefix(p, "crowd-") })
+	return res, nil
+}
+
+// String renders the result as the experiment's report rows.
+func (r Figure4Result) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace aggregates (paper: faculty 94/20/13, students 12/173/31, crowd 39/17/1328):\n")
+	fmt.Fprintf(&b, "  faculty  %d/%d/%d\n", r.FacultyDeck.ToA, r.FacultyDeck.ToB, r.FacultyDeck.ToOther)
+	fmt.Fprintf(&b, "  students %d/%d/%d\n", r.StudentDeck.ToA, r.StudentDeck.ToB, r.StudentDeck.ToOther)
+	fmt.Fprintf(&b, "  crowd    %d/%d/%d\n", r.CrowdDeck.ToA, r.CrowdDeck.ToB, r.CrowdDeck.ToOther)
+	for _, p := range []PersonaResult{r.Faculty, r.Students, r.Crowd} {
+		fmt.Fprintf(&b, "%-8s transits=%d accuracy=%.2f reserved-cells=%d brute-force-cells=%d\n",
+			p.Persona, p.Transits, p.Accuracy(), p.ReservedCells, p.BruteForceCells)
+	}
+	return b.String()
+}

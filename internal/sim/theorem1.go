@@ -1,0 +1,167 @@
+package sim
+
+import (
+	"fmt"
+
+	"armnet/internal/des"
+	"armnet/internal/maxmin"
+	"armnet/internal/randx"
+)
+
+// Theorem1Config drives the convergence study of the event-driven
+// adaptation algorithm.
+type Theorem1Config struct {
+	Seed int64
+	// Instances is the number of random problem instances (default 20).
+	Instances int
+	// MaxLinks and MaxConns bound instance size (defaults 4 and 6).
+	MaxLinks, MaxConns int
+	// Refined selects the M(l) refinement.
+	Refined bool
+	// Perturb additionally changes one link's capacity after initial
+	// convergence and re-measures (the Theorem's instability→stability
+	// transition).
+	Perturb bool
+}
+
+func (c Theorem1Config) withDefaults() Theorem1Config {
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.Instances <= 0 {
+		c.Instances = 20
+	}
+	if c.MaxLinks <= 0 {
+		c.MaxLinks = 4
+	}
+	if c.MaxConns <= 0 {
+		c.MaxConns = 6
+	}
+	return c
+}
+
+// Theorem1Result aggregates the convergence study.
+type Theorem1Result struct {
+	Refined bool
+	// Instances actually run.
+	Instances int
+	// Converged counts instances whose final rates satisfied the maxmin
+	// oracle within tolerance.
+	Converged int
+	// TotalMessages is the control-message hop count across instances.
+	TotalMessages int
+	// TotalSessions counts adaptation sessions.
+	TotalSessions int
+	// MaxSyncRounds is the worst synchronous-round count observed by
+	// the round-abstracted solver on the same instances.
+	MaxSyncRounds int
+	// WorstDiff is the largest rate deviation from the centralized
+	// solution across instances.
+	WorstDiff float64
+}
+
+// RunTheorem1 generates random allocation problems, runs the event-driven
+// protocol to quiescence on each, and verifies the resulting rates
+// against the centralized water-filling solution — the empirical check of
+// Theorem 1. With Perturb it also exercises the steady-state→perturbed→
+// steady-state transition the theorem bounds.
+func RunTheorem1(cfg Theorem1Config) (Theorem1Result, error) {
+	cfg = cfg.withDefaults()
+	rng := randx.New(cfg.Seed)
+	res := Theorem1Result{Refined: cfg.Refined, Instances: cfg.Instances}
+	for i := 0; i < cfg.Instances; i++ {
+		p := randomMaxminProblem(rng, 1+rng.Intn(cfg.MaxLinks), 1+rng.Intn(cfg.MaxConns))
+		simulator := des.New()
+		pr := maxmin.NewProtocol(simulator, maxmin.ProtocolOptions{Refined: cfg.Refined})
+		for l, c := range p.Capacity {
+			if err := pr.AddLink(l, c); err != nil {
+				return res, err
+			}
+		}
+		for _, c := range p.Conns {
+			if err := pr.AddConn(c); err != nil {
+				return res, err
+			}
+		}
+		pr.KickAll()
+		if err := simulator.RunUntil(500); err != nil {
+			return res, err
+		}
+		if cfg.Perturb {
+			links := sortedKeys(p.Capacity)
+			pick := links[rng.Intn(len(links))]
+			newCap := p.Capacity[pick] * (0.5 + rng.Float64())
+			p.Capacity[pick] = newCap
+			if _, err := pr.TriggerCapacityChange(pick, newCap); err != nil {
+				return res, err
+			}
+			if err := simulator.RunUntil(1500); err != nil {
+				return res, err
+			}
+		}
+		ref, err := maxmin.WaterFill(pr.Problem())
+		if err != nil {
+			return res, err
+		}
+		diff := ref.MaxDiff(pr.Rates())
+		if diff > res.WorstDiff {
+			res.WorstDiff = diff
+		}
+		if diff <= 1e-6 {
+			res.Converged++
+		}
+		res.TotalMessages += pr.Messages
+		res.TotalSessions += pr.Sessions
+
+		sres, err := maxmin.SyncSolver{MaxRounds: 500}.Solve(pr.Problem())
+		if err != nil {
+			return res, err
+		}
+		if sres.Rounds > res.MaxSyncRounds {
+			res.MaxSyncRounds = sres.Rounds
+		}
+	}
+	return res, nil
+}
+
+// String renders the study summary.
+func (r Theorem1Result) String() string {
+	return fmt.Sprintf("refined=%v instances=%d converged=%d messages=%d sessions=%d maxSyncRounds=%d worstDiff=%.2e",
+		r.Refined, r.Instances, r.Converged, r.TotalMessages, r.TotalSessions, r.MaxSyncRounds, r.WorstDiff)
+}
+
+func randomMaxminProblem(rng *randx.Rand, nLinks, nConns int) maxmin.Problem {
+	p := maxmin.Problem{Capacity: map[string]float64{}}
+	links := make([]string, nLinks)
+	for i := range links {
+		links[i] = fmt.Sprintf("l%d", i)
+		p.Capacity[links[i]] = 1 + rng.Float64()*20
+	}
+	for i := 0; i < nConns; i++ {
+		pathLen := 1 + rng.Intn(nLinks)
+		perm := rng.Perm(nLinks)[:pathLen]
+		path := make([]string, pathLen)
+		for j, k := range perm {
+			path[j] = links[k]
+		}
+		demand := maxmin.Inf
+		if rng.Bernoulli(0.3) {
+			demand = rng.Float64() * 10
+		}
+		p.Conns = append(p.Conns, maxmin.Conn{ID: fmt.Sprintf("c%d", i), Path: path, Demand: demand})
+	}
+	return p
+}
+
+func sortedKeys(m map[string]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j] < out[j-1]; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}

@@ -1,0 +1,122 @@
+// Package traffic generates connection workloads: Poisson new-connection
+// arrivals per cell and class, exponentially distributed holding times,
+// and the conversion from a workload class to the QoS request its
+// connections carry (paper §3.2's application model).
+package traffic
+
+import (
+	"fmt"
+
+	"armnet/internal/des"
+	"armnet/internal/qos"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+// Request builds the admission-control QoS request for a class: the
+// class's bandwidth bounds, a (σ, ρ) envelope with ρ = b_min and a small
+// burst, and era-appropriate delay/jitter/loss targets that do not bind
+// unless the caller tightens them.
+func Request(c qos.Class) qos.Request {
+	return qos.Request{
+		Bandwidth: c.Bandwidth,
+		Delay:     5,
+		Jitter:    5,
+		Loss:      0.05,
+		Traffic:   qos.TrafficSpec{Sigma: c.Bandwidth.Min / 4, Rho: c.Bandwidth.Min},
+	}
+}
+
+// PaperMix returns the §7.1 simulation workload: each user opens one
+// connection of either 16 kb/s (75%) or 64 kb/s (25%) on a 1.6 Mb/s cell.
+func PaperMix() []qos.Class {
+	return []qos.Class{
+		{Name: "16k", Bandwidth: qos.Fixed(16e3), MeanHolding: 3600, HandoffProb: 1},
+		{Name: "64k", Bandwidth: qos.Fixed(64e3), MeanHolding: 3600, HandoffProb: 1},
+	}
+}
+
+// PaperMixWeights returns the draw weights matching PaperMix.
+func PaperMixWeights() []float64 { return []float64{0.75, 0.25} }
+
+// Figure6Classes returns the two connection types of the §7.2 example in
+// capacity units (cell capacity 40): type 1 b=1 λ=30 1/μ=0.2 h=0.7,
+// type 2 b=4 λ=1 1/μ=0.25 h=0.7.
+func Figure6Classes() []qos.Class {
+	return []qos.Class{
+		{Name: "type1", Bandwidth: qos.Fixed(1), MeanHolding: 0.2, ArrivalRate: 30, HandoffProb: 0.7},
+		{Name: "type2", Bandwidth: qos.Fixed(4), MeanHolding: 0.25, ArrivalRate: 1, HandoffProb: 0.7},
+	}
+}
+
+// Arrival describes one generated connection request.
+type Arrival struct {
+	Cell  topology.CellID
+	Class qos.Class
+	// ClassIndex is the class's position in the generator's class list.
+	ClassIndex int
+	// Holding is the drawn exponential holding time.
+	Holding float64
+}
+
+// Generator drives Poisson arrival processes on a simulator.
+type Generator struct {
+	Sim     *des.Simulator
+	Rng     *randx.Rand
+	Classes []qos.Class
+	// OnArrival receives each generated request.
+	OnArrival func(Arrival)
+
+	stopped bool
+}
+
+// NewGenerator validates the classes and returns a generator.
+func NewGenerator(sim *des.Simulator, rng *randx.Rand, classes []qos.Class, onArrival func(Arrival)) (*Generator, error) {
+	if sim == nil || rng == nil {
+		return nil, fmt.Errorf("traffic: nil simulator or rng")
+	}
+	if len(classes) == 0 {
+		return nil, fmt.Errorf("traffic: no classes")
+	}
+	for _, c := range classes {
+		if err := c.Validate(); err != nil {
+			return nil, err
+		}
+	}
+	if onArrival == nil {
+		return nil, fmt.Errorf("traffic: nil arrival callback")
+	}
+	return &Generator{Sim: sim, Rng: rng, Classes: classes, OnArrival: onArrival}, nil
+}
+
+// Start launches one Poisson process per (cell, class) with the class's
+// arrival rate. Classes with zero rate are skipped.
+func (g *Generator) Start(cells []topology.CellID) {
+	for _, cell := range cells {
+		for i, c := range g.Classes {
+			if c.ArrivalRate <= 0 {
+				continue
+			}
+			g.scheduleNext(cell, i)
+		}
+	}
+}
+
+// Stop halts further arrivals (already scheduled ones may still fire once).
+func (g *Generator) Stop() { g.stopped = true }
+
+func (g *Generator) scheduleNext(cell topology.CellID, classIdx int) {
+	c := g.Classes[classIdx]
+	g.Sim.After(g.Rng.Exp(c.ArrivalRate), func() {
+		if g.stopped {
+			return
+		}
+		g.OnArrival(Arrival{
+			Cell:       cell,
+			Class:      c,
+			ClassIndex: classIdx,
+			Holding:    g.Rng.Exp(c.Mu()),
+		})
+		g.scheduleNext(cell, classIdx)
+	})
+}

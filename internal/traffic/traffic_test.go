@@ -1,0 +1,132 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+
+	"armnet/internal/des"
+	"armnet/internal/qos"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+func TestRequestIsValid(t *testing.T) {
+	for _, c := range append(PaperMix(), Figure6Classes()...) {
+		r := Request(c)
+		if err := r.Validate(); err != nil {
+			t.Errorf("class %s produces invalid request: %v", c.Name, err)
+		}
+		if r.Bandwidth != c.Bandwidth {
+			t.Errorf("class %s bandwidth mangled", c.Name)
+		}
+	}
+}
+
+func TestPaperMixShape(t *testing.T) {
+	mix := PaperMix()
+	if mix[0].Bandwidth.Min != 16e3 || mix[1].Bandwidth.Min != 64e3 {
+		t.Fatalf("mix = %+v", mix)
+	}
+	w := PaperMixWeights()
+	if w[0] != 0.75 || w[1] != 0.25 {
+		t.Fatalf("weights = %v", w)
+	}
+}
+
+func TestFigure6Classes(t *testing.T) {
+	cs := Figure6Classes()
+	if cs[0].ArrivalRate != 30 || cs[0].Bandwidth.Min != 1 || math.Abs(cs[0].Mu()-5) > 1e-12 {
+		t.Fatalf("type1 = %+v", cs[0])
+	}
+	if cs[1].ArrivalRate != 1 || cs[1].Bandwidth.Min != 4 || math.Abs(cs[1].Mu()-4) > 1e-12 {
+		t.Fatalf("type2 = %+v", cs[1])
+	}
+}
+
+func TestGeneratorValidation(t *testing.T) {
+	sim := des.New()
+	rng := randx.New(1)
+	cb := func(Arrival) {}
+	if _, err := NewGenerator(nil, rng, Figure6Classes(), cb); err == nil {
+		t.Error("nil sim accepted")
+	}
+	if _, err := NewGenerator(sim, rng, nil, cb); err == nil {
+		t.Error("no classes accepted")
+	}
+	if _, err := NewGenerator(sim, rng, Figure6Classes(), nil); err == nil {
+		t.Error("nil callback accepted")
+	}
+	bad := []qos.Class{{Name: "x", Bandwidth: qos.Bounds{}, MeanHolding: 1}}
+	if _, err := NewGenerator(sim, rng, bad, cb); err == nil {
+		t.Error("invalid class accepted")
+	}
+}
+
+func TestGeneratorRates(t *testing.T) {
+	sim := des.New()
+	rng := randx.New(42)
+	counts := map[string]int{}
+	holdings := map[string]float64{}
+	gen, err := NewGenerator(sim, rng, Figure6Classes(), func(a Arrival) {
+		counts[a.Class.Name]++
+		holdings[a.Class.Name] += a.Holding
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start([]topology.CellID{"Cq"})
+	const horizon = 200.0
+	if err := sim.RunUntil(horizon); err != nil {
+		t.Fatal(err)
+	}
+	// Expected: 30/s * 200 = 6000 type1, 1/s * 200 = 200 type2.
+	if got := float64(counts["type1"]); math.Abs(got-6000) > 300 {
+		t.Fatalf("type1 arrivals = %v, want ~6000", got)
+	}
+	if got := float64(counts["type2"]); math.Abs(got-200) > 50 {
+		t.Fatalf("type2 arrivals = %v, want ~200", got)
+	}
+	// Holding means match 1/μ.
+	if got := holdings["type1"] / float64(counts["type1"]); math.Abs(got-0.2) > 0.02 {
+		t.Fatalf("type1 mean holding = %v, want 0.2", got)
+	}
+	if got := holdings["type2"] / float64(counts["type2"]); math.Abs(got-0.25) > 0.05 {
+		t.Fatalf("type2 mean holding = %v, want 0.25", got)
+	}
+}
+
+func TestGeneratorStop(t *testing.T) {
+	sim := des.New()
+	rng := randx.New(1)
+	n := 0
+	gen, err := NewGenerator(sim, rng, Figure6Classes(), func(Arrival) { n++ })
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start([]topology.CellID{"Cq"})
+	if err := sim.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	gen.Stop()
+	before := n
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if n != before {
+		t.Fatalf("arrivals continued after Stop: %d -> %d", before, n)
+	}
+}
+
+func TestGeneratorSkipsZeroRate(t *testing.T) {
+	sim := des.New()
+	rng := randx.New(1)
+	classes := []qos.Class{{Name: "idle", Bandwidth: qos.Fixed(1), MeanHolding: 1, ArrivalRate: 0}}
+	gen, err := NewGenerator(sim, rng, classes, func(Arrival) { t.Error("arrival from zero-rate class") })
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen.Start([]topology.CellID{"Cq"})
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+}
