@@ -1,0 +1,37 @@
+GO ?= go
+
+.PHONY: ci vet build test race fuzz-short fuzz bench golden
+
+## ci: the full pre-merge gate — vet, build, tests under the race
+## detector, and the fuzz seed corpora in short mode.
+ci: vet build race fuzz-short
+
+vet:
+	$(GO) vet ./...
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+## fuzz-short: run every Fuzz* target's checked-in seed corpus only
+## (no mutation) — fast, deterministic, suitable for CI.
+fuzz-short:
+	$(GO) test -run '^Fuzz' ./internal/maxmin
+
+## fuzz: actually mutate for a bounded time (override FUZZTIME).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test -run '^$$' -fuzz FuzzMaxminConvergence -fuzztime $(FUZZTIME) ./internal/maxmin
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+## golden: regenerate the checked-in CLI fixtures after an intentional
+## output change.
+golden:
+	$(GO) test ./cmd/paperfigs -update

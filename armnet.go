@@ -112,6 +112,9 @@ const (
 // adaptation on).
 type Config = core.Config
 
+// ReservationMode selects the advance-reservation strategy of Config.Mode.
+type ReservationMode = core.ReservationMode
+
 // Reservation modes for Config.Mode.
 const (
 	ModePredictive = core.ModePredictive

@@ -8,21 +8,29 @@
 //
 //	armsim -topology campus -portables 24 -duration 3600 -mode predictive
 //	armsim -topology figure4 -mode brute-force -seed 7
+//	armsim -topology campus -replications 16 -parallel 8
+//
+// With -replications R the scenario runs R times under decorrelated seeds
+// derived from -seed (replication 0 keeps it), fanned across -parallel
+// workers. Replication is deterministic: the per-replication table is
+// identical at any worker count; pool stats (wall time, speedup) print to
+// stderr.
 package main
 
 import (
+	"bytes"
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
 	"armnet"
 	"armnet/internal/mobility"
 	"armnet/internal/randx"
+	"armnet/internal/runner"
 	"armnet/internal/stats"
 )
-
-// tracePath, when set, replays a CSV trace instead of generating one.
-var tracePath string
 
 func main() {
 	topo := flag.String("topology", "campus", "topology: campus, figure4, meetingwing, corridor")
@@ -34,89 +42,124 @@ func main() {
 	topoFile := flag.String("topology-file", "", "build the environment from a JSON spec instead of a named topology")
 	bmin := flag.Float64("bmin", 32e3, "connection b_min (bits/s)")
 	bmax := flag.Float64("bmax", 128e3, "connection b_max (bits/s)")
-	flag.StringVar(&tracePath, "trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
+	tracePath := flag.String("trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
+	replications := flag.Int("replications", 1, "independent scenario replications under derived seeds")
+	parallel := flag.Int("parallel", 1, "worker count for replications (0 = GOMAXPROCS); output is identical at any worker count")
 	flag.Parse()
 
-	if err := run(*topo, *topoFile, *portables, *duration, *dwell, *seed, *modeName, *bmin, *bmax); err != nil {
+	sc := scenario{
+		topo: *topo, topoFile: *topoFile,
+		portables: *portables, duration: *duration, dwell: *dwell,
+		modeName: *modeName, bmin: *bmin, bmax: *bmax,
+		tracePath: *tracePath,
+	}
+	if err := run(sc, *seed, *replications, *parallel, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "armsim:", err)
 		os.Exit(1)
 	}
 }
 
-func run(topo, topoFile string, portables int, duration, dwell float64, seed int64, modeName string, bmin, bmax float64) error {
-	var env *armnet.Environment
-	var err error
-	if topoFile != "" {
-		f, ferr := os.Open(topoFile)
-		if ferr != nil {
-			return ferr
-		}
-		defer f.Close()
-		env, err = armnet.EnvironmentFromJSON(f)
-		topo = topoFile
-	} else {
-		switch topo {
-		case "campus":
-			env, err = armnet.BuildCampus()
-		case "figure4":
-			env, err = armnet.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
-		case "meetingwing":
-			env, err = armnet.BuildMeetingWing(1.6e6)
-		case "corridor":
-			env, err = armnet.BuildCorridor(6, 1.6e6)
-		default:
-			return fmt.Errorf("unknown topology %q", topo)
-		}
-	}
-	if err != nil {
-		return err
-	}
-	var mode = armnet.ModePredictive
-	switch modeName {
+// scenario describes one armsim configuration. It carries only immutable
+// inputs; every replication builds its own environment, network and trace
+// so that concurrent trials share no mutable state.
+type scenario struct {
+	topo, topoFile string
+	topoJSON       []byte // parsed per replication (envs are mutable)
+	portables      int
+	duration       float64
+	dwell          float64
+	modeName       string
+	mode           armnet.ReservationMode
+	bmin, bmax     float64
+	tracePath      string
+	trace          *mobility.Trace // replayed read-only when set
+}
+
+// prepare resolves the mode, loads the optional topology spec and replay
+// trace once, and validates the inputs shared by every replication.
+func (sc *scenario) prepare() error {
+	sc.mode = armnet.ModePredictive
+	switch sc.modeName {
 	case "predictive":
 	case "brute-force":
-		mode = armnet.ModeBruteForce
+		sc.mode = armnet.ModeBruteForce
 	case "none":
-		mode = armnet.ModeNone
+		sc.mode = armnet.ModeNone
 	default:
-		return fmt.Errorf("unknown mode %q", modeName)
+		return fmt.Errorf("unknown mode %q", sc.modeName)
 	}
-
-	net, err := armnet.NewNetwork(env, armnet.Config{Seed: seed, Mode: mode})
-	if err != nil {
-		return err
+	if sc.topoFile != "" {
+		data, err := os.ReadFile(sc.topoFile)
+		if err != nil {
+			return err
+		}
+		sc.topoJSON = data
+		sc.topo = sc.topoFile
 	}
-
-	// Mobility: replay a recorded trace, or generate a random walk.
-	var trace *mobility.Trace
-	if tracePath != "" {
-		f, err := os.Open(tracePath)
+	if sc.tracePath != "" {
+		f, err := os.Open(sc.tracePath)
 		if err != nil {
 			return err
 		}
 		defer f.Close()
-		trace, err = mobility.ReadCSV(f)
+		sc.trace, err = mobility.ReadCSV(f)
 		if err != nil {
 			return err
 		}
-		if d := trace.Duration(); d > duration {
-			duration = d
+		if d := sc.trace.Duration(); d > sc.duration {
+			sc.duration = d
 		}
-	} else {
-		names := make([]string, portables)
+	}
+	return nil
+}
+
+// buildEnv constructs a fresh environment for one replication. Environments
+// record portable placements, so they must never be shared across trials.
+func (sc scenario) buildEnv() (*armnet.Environment, error) {
+	if sc.topoJSON != nil {
+		return armnet.EnvironmentFromJSON(bytes.NewReader(sc.topoJSON))
+	}
+	switch sc.topo {
+	case "campus":
+		return armnet.BuildCampus()
+	case "figure4":
+		return armnet.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
+	case "meetingwing":
+		return armnet.BuildMeetingWing(1.6e6)
+	case "corridor":
+		return armnet.BuildCorridor(6, 1.6e6)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", sc.topo)
+	}
+}
+
+// runOnce executes one self-contained replication under the given seed and
+// returns the finished network for reporting.
+func (sc scenario) runOnce(seed int64) (*armnet.Network, error) {
+	env, err := sc.buildEnv()
+	if err != nil {
+		return nil, err
+	}
+	net, err := armnet.NewNetwork(env, armnet.Config{Seed: seed, Mode: sc.mode})
+	if err != nil {
+		return nil, err
+	}
+	// Mobility: replay the recorded trace, or generate a random walk.
+	trace := sc.trace
+	if trace == nil {
+		names := make([]string, sc.portables)
 		for i := range names {
 			names[i] = fmt.Sprintf("p%02d", i)
 		}
-		var err error
-		trace, err = mobility.RandomWalk(env.Universe, names, dwell, duration, randx.New(seed+1))
+		trace, err = mobility.RandomWalk(env.Universe, names, sc.dwell, sc.duration, randx.New(seed+1))
 		if err != nil {
-			return err
+			return nil, err
 		}
 	}
 	req := armnet.Request{
-		Bandwidth: armnet.Bounds{Min: bmin, Max: bmax},
+		Bandwidth: armnet.Bounds{Min: sc.bmin, Max: sc.bmax},
 		Delay:     5, Jitter: 5, Loss: 0.05,
-		Traffic: armnet.TrafficSpec{Sigma: bmin / 4, Rho: bmin},
+		Traffic: armnet.TrafficSpec{Sigma: sc.bmin / 4, Rho: sc.bmin},
 	}
 	for _, mv := range trace.Moves {
 		mv := mv
@@ -130,29 +173,72 @@ func run(topo, topoFile string, portables int, duration, dwell float64, seed int
 			_ = net.HandoffPortable(mv.Portable, mv.To)
 		})
 	}
-	if err := net.RunUntil(duration); err != nil {
+	if err := net.RunUntil(sc.duration); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+// run executes the scenario (optionally replicated) and prints the report.
+func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.Writer) error {
+	if err := sc.prepare(); err != nil {
 		return err
 	}
+	if replications <= 0 {
+		replications = 1
+	}
+	seeds := runner.Seeds(seed, replications)
+	nets, st, err := runner.Map(context.Background(), parallel, replications,
+		func(_ context.Context, i int) (*armnet.Network, error) {
+			return sc.runOnce(seeds[i])
+		})
+	if err != nil {
+		return err
+	}
+	if replications == 1 {
+		printDetailed(out, sc, seeds[0], nets[0])
+		return nil
+	}
+	fmt.Fprintf(out, "topology=%s portables=%d duration=%.0fs mode=%s seed=%d replications=%d\n",
+		sc.topo, sc.portables, sc.duration, sc.mode, seed, replications)
+	tb := stats.Table{Header: []string{"seed", "handoffs", "drop-rate", "block-rate", "reservations", "pool-claims"}}
+	var dropSum, blockSum float64
+	for i, net := range nets {
+		c := net.Metrics().Counter
+		drop := c.Ratio(armnet.CtrHandoffDropped, armnet.CtrHandoffTried)
+		block := c.Ratio(armnet.CtrNewBlocked, armnet.CtrNewRequested)
+		dropSum += drop
+		blockSum += block
+		tb.AddRow(seeds[i], c.Get(armnet.CtrHandoffTried), drop, block,
+			c.Get(armnet.CtrAdvanceResv), c.Get(armnet.CtrPoolClaims))
+	}
+	fmt.Fprint(out, tb.String())
+	n := float64(replications)
+	fmt.Fprintf(out, "mean drop rate: %.4f  mean block rate: %.4f\n", dropSum/n, blockSum/n)
+	fmt.Fprintf(statsOut, "armsim: %s\n", st)
+	return nil
+}
 
+// printDetailed reports a single replication in full.
+func printDetailed(out io.Writer, sc scenario, seed int64, net *armnet.Network) {
 	m := net.Metrics()
-	fmt.Printf("topology=%s portables=%d duration=%.0fs mode=%s seed=%d\n",
-		topo, portables, duration, mode, seed)
+	fmt.Fprintf(out, "topology=%s portables=%d duration=%.0fs mode=%s seed=%d\n",
+		sc.topo, sc.portables, sc.duration, sc.mode, seed)
 	tb := stats.Table{Header: []string{"metric", "value"}}
 	for _, name := range m.Counter.Names() {
 		tb.AddRow(name, m.Counter.Get(name))
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(out, tb.String())
 	if tried := m.Counter.Get(armnet.CtrHandoffTried); tried > 0 {
-		fmt.Printf("handoff drop rate: %.4f\n", m.Counter.Ratio(armnet.CtrHandoffDropped, armnet.CtrHandoffTried))
+		fmt.Fprintf(out, "handoff drop rate: %.4f\n", m.Counter.Ratio(armnet.CtrHandoffDropped, armnet.CtrHandoffTried))
 	}
 	mgr := net.Manager()
 	if mgr.Latency.Predicted.N()+mgr.Latency.Unpredicted.N() > 0 {
-		fmt.Printf("handoff latency: predicted %.1fms (n=%d), unpredicted %.1fms (n=%d)\n",
+		fmt.Fprintf(out, "handoff latency: predicted %.1fms (n=%d), unpredicted %.1fms (n=%d)\n",
 			mgr.Latency.Predicted.Mean()*1e3, mgr.Latency.Predicted.N(),
 			mgr.Latency.Unpredicted.Mean()*1e3, mgr.Latency.Unpredicted.N())
 	}
 	if req := m.Counter.Get(armnet.CtrNewRequested); req > 0 {
-		fmt.Printf("new-connection block rate: %.4f\n", m.Counter.Ratio(armnet.CtrNewBlocked, armnet.CtrNewRequested))
+		fmt.Fprintf(out, "new-connection block rate: %.4f\n", m.Counter.Ratio(armnet.CtrNewBlocked, armnet.CtrNewRequested))
 	}
-	return nil
 }

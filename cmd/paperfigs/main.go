@@ -6,13 +6,24 @@
 //	paperfigs -exp all            # run everything
 //	paperfigs -exp fig5 -seed 7   # one experiment, chosen seed
 //	paperfigs -exp fig6 -horizon 400
+//	paperfigs -exp theorem1 -parallel 8   # fan trials across 8 workers
 //
-// Experiments: table1, table2, fig2, fig4, fig5, fig6, theorem1, all.
+// Experiments: table1, table2, fig2, fig4, fig5, fig6, theorem1, campus,
+// tth, bounds, corridor, all.
+//
+// Multi-trial experiments (theorem1, campus, tth) fan their independent
+// trials across -parallel workers. Replication is deterministic: the rows
+// printed to stdout are byte-identical at any worker count, so figures can
+// be regenerated at full speed and diffed against archived output. The
+// worker-pool stats (wall time, speedup) go to stderr, keeping stdout
+// clean for comparison.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -22,58 +33,97 @@ import (
 	"armnet/internal/stats"
 )
 
+// opts carries the flag values and output streams through the experiment
+// runners. Deterministic experiment rows go to out; timing-dependent
+// worker-pool stats go to statsOut so out stays byte-comparable.
+type opts struct {
+	seed     int64
+	horizon  float64
+	walkBys  int
+	parallel int
+	out      io.Writer
+	statsOut io.Writer
+}
+
+// experimentOrder is the -exp all sequence.
+var experimentOrder = []string{
+	"table1", "table2", "fig2", "fig4", "fig5", "fig6",
+	"theorem1", "campus", "tth", "bounds", "corridor",
+}
+
+// runners maps experiment names to their implementations.
+var runners = map[string]func(opts) error{
+	"table1":   table1,
+	"table2":   table2,
+	"fig2":     fig2,
+	"fig4":     fig4,
+	"fig5":     fig5,
+	"fig6":     fig6,
+	"theorem1": theorem1,
+	"campus":   campus,
+	"tth":      tth,
+	"bounds":   bounds,
+	"corridor": corridor,
+}
+
 func main() {
-	exp := flag.String("exp", "all", "experiment: table1, table2, fig2, fig4, fig5, fig6, theorem1, all")
+	exp := flag.String("exp", "all", "experiment: "+strings.Join(experimentOrder, ", ")+", all")
 	seed := flag.Int64("seed", 1, "random seed")
 	horizon := flag.Float64("horizon", 200, "figure-6 simulation horizon (seconds)")
 	walkBys := flag.Int("walkbys", 400, "figure-5 corridor through-traffic volume")
+	parallel := flag.Int("parallel", 1, "worker count for multi-trial experiments (0 = GOMAXPROCS); output is identical at any worker count")
 	flag.Parse()
 
-	runners := map[string]func() error{
-		"table1":   func() error { return table1(*seed) },
-		"table2":   table2,
-		"fig2":     func() error { return fig2(*seed) },
-		"fig4":     func() error { return fig4(*seed) },
-		"fig5":     func() error { return fig5(*seed, *walkBys) },
-		"fig6":     func() error { return fig6(*seed, *horizon) },
-		"theorem1": func() error { return theorem1(*seed) },
-		"campus":   func() error { return campus(*seed) },
-		"bounds":   func() error { return bounds(*seed) },
-		"corridor": func() error { return corridor(*seed) },
+	o := opts{
+		seed: *seed, horizon: *horizon, walkBys: *walkBys, parallel: *parallel,
+		out: os.Stdout, statsOut: os.Stderr,
 	}
-	order := []string{"table1", "table2", "fig2", "fig4", "fig5", "fig6", "theorem1", "campus", "bounds", "corridor"}
+	names, err := resolveExperiments(*exp)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := runExperiments(names, o); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
 
-	var toRun []string
-	if *exp == "all" {
-		toRun = order
-	} else {
-		for _, name := range strings.Split(*exp, ",") {
-			if _, ok := runners[name]; !ok {
-				fmt.Fprintf(os.Stderr, "unknown experiment %q (have: %s, all)\n", name, strings.Join(order, ", "))
-				os.Exit(2)
-			}
-			toRun = append(toRun, name)
-		}
+// resolveExperiments expands the -exp flag into the list of runner names.
+func resolveExperiments(exp string) ([]string, error) {
+	if exp == "all" {
+		return experimentOrder, nil
 	}
-	for _, name := range toRun {
-		fmt.Printf("==== %s ====\n", name)
-		if err := runners[name](); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", name, err)
-			os.Exit(1)
+	var names []string
+	for _, name := range strings.Split(exp, ",") {
+		if _, ok := runners[name]; !ok {
+			return nil, fmt.Errorf("unknown experiment %q (have: %s, all)", name, strings.Join(experimentOrder, ", "))
 		}
-		fmt.Println()
+		names = append(names, name)
 	}
+	return names, nil
+}
+
+// runExperiments executes the named experiments against o in order.
+func runExperiments(names []string, o opts) error {
+	for _, name := range names {
+		fmt.Fprintf(o.out, "==== %s ====\n", name)
+		if err := runners[name](o); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(o.out)
+	}
+	return nil
 }
 
 // table1 builds live profiles on the campus and prints their contents per
 // cell class — the structure of the paper's Table 1.
-func table1(seed int64) error {
-	_ = seed
+func table1(o opts) error {
 	env, err := armnet.BuildFigure4("faculty", []string{"stu-a", "stu-b", "stu-c"})
 	if err != nil {
 		return err
 	}
-	fmt.Println("cell profiles (type, handoff activity, contents):")
+	fmt.Fprintln(o.out, "cell profiles (type, handoff activity, contents):")
 	tb := stats.Table{Header: []string{"cell", "class", "omega(c)", "eta(c)"}}
 	for _, c := range env.Universe.Cells() {
 		occ := strings.Join(c.Occupants, ",")
@@ -86,47 +136,47 @@ func table1(seed int64) error {
 		}
 		tb.AddRow(string(c.ID), c.Class.String(), occ, strings.Join(nbs, ","))
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(o.out, tb.String())
 	// Portable-profile triplet demonstration.
 	pp := profile.NewPortableProfile("faculty", 100)
 	pp.Record(profile.Handoff{Portable: "faculty", Prev: "C", From: "D", To: "A"})
 	next, ok := pp.Predict("C", "D")
-	fmt.Printf("portable profile triplet: <prev=C, cur=D> -> next-prd-cell=%s (ok=%v)\n", next, ok)
+	fmt.Fprintf(o.out, "portable profile triplet: <prev=C, cur=D> -> next-prd-cell=%s (ok=%v)\n", next, ok)
 	return nil
 }
 
-func table2() error {
+func table2(o opts) error {
 	for _, d := range []sched.Discipline{sched.DisciplineWFQ, sched.DisciplineRCSP} {
 		r, err := armnet.RunTable2(armnet.Table2Config{Discipline: d})
 		if err != nil {
 			return err
 		}
-		fmt.Print(r.String())
+		fmt.Fprint(o.out, r.String())
 	}
 	return nil
 }
 
-func fig2(seed int64) error {
-	r, err := armnet.RunFigure2(armnet.Figure2Config{Seed: seed, Students: 40})
+func fig2(o opts) error {
+	r, err := armnet.RunFigure2(armnet.Figure2Config{Seed: o.seed, Students: 40})
 	if err != nil {
 		return err
 	}
-	fmt.Println("handoff activity in a lounge (meeting room), per 5-minute slot:")
-	fmt.Print(r.String())
+	fmt.Fprintln(o.out, "handoff activity in a lounge (meeting room), per 5-minute slot:")
+	fmt.Fprint(o.out, r.String())
 	return nil
 }
 
-func fig4(seed int64) error {
-	r, err := armnet.RunFigure4(armnet.Figure4Config{Seed: seed})
+func fig4(o opts) error {
+	r, err := armnet.RunFigure4(armnet.Figure4Config{Seed: o.seed})
 	if err != nil {
 		return err
 	}
-	fmt.Print(r.String())
+	fmt.Fprint(o.out, r.String())
 	return nil
 }
 
-func fig5(seed int64, walkBys int) error {
-	rs, err := armnet.RunFigure5Comparison(seed, walkBys)
+func fig5(o opts) error {
+	rs, err := armnet.RunFigure5Comparison(o.seed, o.walkBys)
 	if err != nil {
 		return err
 	}
@@ -134,19 +184,19 @@ func fig5(seed int64, walkBys int) error {
 	for _, r := range rs {
 		tb.AddRow(r.Students, fmt.Sprintf("%.0f%%", r.OfferedLoad*100), r.Algorithm.String(), r.Drops, r.HandoffAttempts)
 	}
-	fmt.Println("paper: 35 students @59% -> brute-force 2, aggregation 0, meeting-room 0 drops")
-	fmt.Println("       55 students @94% -> brute-force 7, aggregation 4, meeting-room 0 drops")
-	fmt.Print(tb.String())
+	fmt.Fprintln(o.out, "paper: 35 students @59% -> brute-force 2, aggregation 0, meeting-room 0 drops")
+	fmt.Fprintln(o.out, "       55 students @94% -> brute-force 7, aggregation 4, meeting-room 0 drops")
+	fmt.Fprint(o.out, tb.String())
 	// Figure 5(a): handoffs into the classroom around the start.
 	last := rs[len(rs)-1]
-	fmt.Println("fig 5(a): handoffs into the classroom per minute (55-student run):")
-	printSpark(last.IntoRoom, 50, 75)
-	fmt.Println("fig 5(c): handoffs out of the classroom per minute:")
-	printSpark(last.OutOfRoom, 100, 125)
+	fmt.Fprintln(o.out, "fig 5(a): handoffs into the classroom per minute (55-student run):")
+	printSpark(o.out, last.IntoRoom, 50, 75)
+	fmt.Fprintln(o.out, "fig 5(c): handoffs out of the classroom per minute:")
+	printSpark(o.out, last.OutOfRoom, 100, 125)
 	return nil
 }
 
-func printSpark(series []int, lo, hi int) {
+func printSpark(w io.Writer, series []int, lo, hi int) {
 	if hi > len(series) {
 		hi = len(series)
 	}
@@ -154,32 +204,33 @@ func printSpark(series []int, lo, hi int) {
 		lo = 0
 	}
 	for i := lo; i < hi; i++ {
-		fmt.Printf("  min %3d |%s %d\n", i, strings.Repeat("#", series[i]), series[i])
+		fmt.Fprintf(w, "  min %3d |%s %d\n", i, strings.Repeat("#", series[i]), series[i])
 	}
 }
 
-func fig6(seed int64, horizon float64) error {
-	curves, err := armnet.RunFigure6Sweep(seed, nil, nil, horizon)
+func fig6(o opts) error {
+	curves, err := armnet.RunFigure6Sweep(o.seed, nil, nil, o.horizon)
 	if err != nil {
 		return err
 	}
-	fmt.Println("P_d vs P_b family over the window T (paper: curves for small T dominate;")
-	fmt.Println("all curves coincide at large P_d):")
+	fmt.Fprintln(o.out, "P_d vs P_b family over the window T (paper: curves for small T dominate;")
+	fmt.Fprintln(o.out, "all curves coincide at large P_d):")
 	for _, c := range curves {
-		fmt.Printf("T = %v\n", c.T)
+		fmt.Fprintf(o.out, "T = %v\n", c.T)
 		tb := stats.Table{Header: []string{"P_QOS", "P_d", "P_b", "mean-reserved"}}
 		for _, p := range c.Points {
 			tb.AddRow(p.PQoS, p.Pd, p.Pb, p.MeanReserved)
 		}
-		fmt.Print(tb.String())
+		fmt.Fprint(o.out, tb.String())
 	}
 	return nil
 }
 
 // campus is the extension experiment: the integrated manager under the
-// three reservation modes on random-walk mobility.
-func campus(seed int64) error {
-	rs, err := armnet.RunCampusComparison(armnet.CampusConfig{Seed: seed, Portables: 24, Duration: 2400})
+// three reservation modes on random-walk mobility, one worker per mode.
+func campus(o opts) error {
+	rs, st, err := armnet.RunCampusComparisonParallel(context.Background(),
+		armnet.CampusConfig{Seed: o.seed, Portables: 24, Duration: 2400}, o.parallel)
 	if err != nil {
 		return err
 	}
@@ -188,43 +239,63 @@ func campus(seed int64) error {
 		tb.AddRow(r.Mode.String(), r.DropRate, r.BlockRate, r.AdvanceReservations, r.PoolClaims,
 			r.PredictedShare, r.PredictedLatency*1e3, r.UnpredictedLatency*1e3)
 	}
-	fmt.Print(tb.String())
+	fmt.Fprint(o.out, tb.String())
+	fmt.Fprintf(o.statsOut, "campus: %s\n", st)
+	return nil
+}
+
+// tth sweeps the static/mobile threshold T_th (DESIGN.md's ablation), one
+// worker per threshold point.
+func tth(o opts) error {
+	points, st, err := armnet.RunTthSensitivityParallel(context.Background(),
+		armnet.CampusConfig{Seed: o.seed, Portables: 24, Duration: 2400}, nil, o.parallel)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(o.out, "T_th sensitivity (small T_th flips portables static early):")
+	tb := stats.Table{Header: []string{"T_th(s)", "drop-rate", "block-rate", "reservations", "pool-claims", "pred-share"}}
+	for _, p := range points {
+		tb.AddRow(p.Tth, p.DropRate, p.BlockRate, p.AdvanceReservations, p.PoolClaims, p.PredictedShare)
+	}
+	fmt.Fprint(o.out, tb.String())
+	fmt.Fprintf(o.statsOut, "tth: %s\n", st)
 	return nil
 }
 
 // bounds is the extension experiment quantifying §2.1: loose QoS bounds
 // vs rigid reservations on a fading wireless link.
-func bounds(seed int64) error {
-	loose, rigid, err := armnet.RunBounds(armnet.BoundsConfig{Seed: seed})
+func bounds(o opts) error {
+	loose, rigid, err := armnet.RunBounds(armnet.BoundsConfig{Seed: o.seed})
 	if err != nil {
 		return err
 	}
 	tb := stats.Table{Header: []string{"scenario", "admitted", "overcommit-time", "mean-utilization"}}
 	tb.AddRow("loose [b_min,b_max]", loose.Admitted, loose.OvercommitFraction, loose.MeanUtilization)
 	tb.AddRow("rigid (midpoint)", rigid.Admitted, rigid.OvercommitFraction, rigid.MeanUtilization)
-	fmt.Print(tb.String())
+	fmt.Fprint(o.out, tb.String())
 	return nil
 }
 
 // corridor validates §6.1's linear-movement claim.
-func corridor(seed int64) error {
-	r, err := armnet.RunCorridor(seed, 6, 200)
+func corridor(o opts) error {
+	r, err := armnet.RunCorridor(o.seed, 6, 200)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("corridor linear prediction: %d transits, accuracy %.3f\n", r.Transits, r.Accuracy())
+	fmt.Fprintf(o.out, "corridor linear prediction: %d transits, accuracy %.3f\n", r.Transits, r.Accuracy())
 	return nil
 }
 
-func theorem1(seed int64) error {
+func theorem1(o opts) error {
 	for _, refined := range []bool{false, true} {
-		r, err := armnet.RunTheorem1(armnet.Theorem1Config{
-			Seed: seed, Instances: 20, Refined: refined, Perturb: true,
-		})
+		r, st, err := armnet.RunTheorem1Parallel(context.Background(), armnet.Theorem1Config{
+			Seed: o.seed, Instances: 20, Refined: refined, Perturb: true,
+		}, o.parallel)
 		if err != nil {
 			return err
 		}
-		fmt.Println(r.String())
+		fmt.Fprintln(o.out, r.String())
+		fmt.Fprintf(o.statsOut, "theorem1 refined=%v: %s\n", refined, st)
 	}
 	return nil
 }

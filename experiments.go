@@ -1,6 +1,9 @@
 package armnet
 
-import "armnet/internal/sim"
+import (
+	"armnet/internal/runner"
+	"armnet/internal/sim"
+)
 
 // This file re-exports the experiment harnesses that regenerate the
 // paper's tables and figures, so downstream users (and the repository's
@@ -56,6 +59,10 @@ type (
 
 	// CorridorResult: §6.1 linear-movement prediction accuracy.
 	CorridorResult = sim.CorridorResult
+
+	// RunStats reports trial counts, wall time and speedup for the
+	// parallel experiment runners.
+	RunStats = runner.Stats
 )
 
 // Figure 5 algorithm selectors.
@@ -84,4 +91,17 @@ var (
 	// ErlangB is the analytic blocking formula used to validate the
 	// Figure 6 simulator.
 	ErlangB = sim.ErlangB
+
+	// Parallel experiment runners: independent trials fanned across a
+	// worker pool with deterministic replication — the same seed yields
+	// bit-identical results at any worker count (workers <= 0 selects
+	// GOMAXPROCS).
+	RunCampusComparisonParallel = sim.RunCampusComparisonParallel
+	RunTthSensitivityParallel   = sim.RunTthSensitivityParallel
+	RunGridSweep                = sim.RunGridSweep
+	RunTheorem1Parallel         = sim.RunTheorem1Parallel
+	// SplitSeed derives decorrelated per-trial seeds from a master seed;
+	// TrialSeeds returns the first n of them (trial 0 keeps the master).
+	SplitSeed  = runner.SplitSeed
+	TrialSeeds = runner.Seeds
 )

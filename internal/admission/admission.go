@@ -137,7 +137,7 @@ func (c *Controller) Admit(t Test) (Result, error) {
 	states := make([]*LinkState, 0, n)
 	caps := make([]float64, 0, n)
 	lossPerLink := make([]float64, 0, n)
-	for hop, link := range t.Route.Links {
+	for _, link := range t.Route.Links {
 		ls := c.Ledger.Link(link.ID)
 		if ls == nil {
 			return Result{}, fmt.Errorf("%w: %s", ErrUnknownLink, link.ID)
@@ -145,6 +145,14 @@ func (c *Controller) Admit(t Test) (Result, error) {
 		states = append(states, ls)
 		caps = append(caps, ls.Capacity)
 		lossPerLink = append(lossPerLink, link.LossProb)
+	}
+	// d_min,j depends only on the route's capacities, so it is known before
+	// the hop-by-hop tests run. The RCSP buffer row needs it: the reverse
+	// pass commits buffers against the *relaxed* upstream delay, so the
+	// forward check must bound that commitment, not the unrelaxed delay.
+	delayFloor := sched.EndToEndDelayFloor(sigma, lmax, bmin, caps)
+	for hop, link := range t.Route.Links {
+		ls := states[hop]
 		l := hop + 1 // 1-based hop index of Table 2
 
 		// Bandwidth row: b_min,j <= C_l - b_resv,l - Σ b_min,i
@@ -170,6 +178,12 @@ func (c *Controller) Admit(t Test) (Result, error) {
 			var prev float64
 			if hop > 0 {
 				prev = sched.HopDelay(lmax, bmin, states[hop-1].Capacity)
+				// If the connection is later admitted, the commitment uses
+				// the relaxed upstream delay d'_{l-1}, which exceeds
+				// d_{l-1} whenever the delay slack is positive.
+				if relaxed := sched.RelaxedHopDelay(prev, t.Req.Delay, delayFloor, sigma, bmin, n); relaxed > prev {
+					prev = relaxed
+				}
 			}
 			buf = sched.BufferRCSP(sigma, lmax, t.Req.Bandwidth.Max, prev, d, l)
 		default:
@@ -189,7 +203,7 @@ func (c *Controller) Admit(t Test) (Result, error) {
 	}
 
 	// ---- Destination node tests ----
-	res.DelayFloor = sched.EndToEndDelayFloor(sigma, lmax, bmin, caps)
+	res.DelayFloor = delayFloor
 	if res.DelayFloor > t.Req.Delay {
 		res.Reason = ReasonDelay
 		return res, nil

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"armnet/internal/core"
@@ -10,6 +11,7 @@ import (
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/randx"
+	"armnet/internal/runner"
 	"armnet/internal/topology"
 )
 
@@ -140,36 +142,54 @@ type TthPoint struct {
 // reservations, more unpredicted handoffs on re-moves); large T_th keeps
 // everyone mobile (maximum reservations).
 func RunTthSensitivity(cfg CampusConfig, thresholds []float64) ([]TthPoint, error) {
-	if len(thresholds) == 0 {
-		thresholds = []float64{30, 120, 300, 900}
-	}
-	var out []TthPoint
-	for _, tth := range thresholds {
-		c := cfg
-		c.Tth = tth
-		r, err := RunCampus(c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, TthPoint{Tth: tth, CampusResult: r})
+	out, _, err := RunTthSensitivityParallel(context.Background(), cfg, thresholds, 1)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
 
+// RunTthSensitivityParallel is RunTthSensitivity fanned across a worker
+// pool: each threshold is an independent trial (every RunCampus builds its
+// own simulator, environment, and RNGs from cfg.Seed), so the points are
+// identical at any worker count.
+func RunTthSensitivityParallel(ctx context.Context, cfg CampusConfig, thresholds []float64, workers int) ([]TthPoint, runner.Stats, error) {
+	if len(thresholds) == 0 {
+		thresholds = []float64{30, 120, 300, 900}
+	}
+	return runner.Map(ctx, workers, len(thresholds), func(_ context.Context, i int) (TthPoint, error) {
+		c := cfg
+		c.Tth = thresholds[i]
+		r, err := RunCampus(c)
+		if err != nil {
+			return TthPoint{}, err
+		}
+		return TthPoint{Tth: thresholds[i], CampusResult: r}, nil
+	})
+}
+
+// campusModes is the fixed mode order of the comparison experiment.
+var campusModes = []core.ReservationMode{core.ModePredictive, core.ModeBruteForce, core.ModeNone}
+
 // RunCampusComparison runs the scenario under all three reservation modes
 // with the same seed and mobility.
 func RunCampusComparison(cfg CampusConfig) ([]CampusResult, error) {
-	var out []CampusResult
-	for _, mode := range []core.ReservationMode{core.ModePredictive, core.ModeBruteForce, core.ModeNone} {
-		c := cfg
-		c.Mode = mode
-		r, err := RunCampus(c)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, r)
+	out, _, err := RunCampusComparisonParallel(context.Background(), cfg, 1)
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
+}
+
+// RunCampusComparisonParallel runs the three reservation modes as
+// independent trials on a worker pool. Results arrive in the fixed mode
+// order (predictive, brute-force, none) regardless of worker count.
+func RunCampusComparisonParallel(ctx context.Context, cfg CampusConfig, workers int) ([]CampusResult, runner.Stats, error) {
+	return runner.Map(ctx, workers, len(campusModes), func(_ context.Context, i int) (CampusResult, error) {
+		c := cfg
+		c.Mode = campusModes[i]
+		return RunCampus(c)
+	})
 }
 
 // GridConfig drives the scale scenario: a rows×cols office building with
@@ -215,6 +235,33 @@ type GridResult struct {
 
 // RunGrid executes the scale scenario.
 func RunGrid(cfg GridConfig) (GridResult, error) {
+	rs, _, err := RunGridSweep(context.Background(), cfg, 1, 1)
+	if err != nil {
+		return GridResult{}, err
+	}
+	return rs[0], nil
+}
+
+// RunGridSweep runs `replications` independent grid scenarios with
+// per-replication seeds derived from cfg.Seed by runner.SplitSeed
+// (replication 0 keeps cfg.Seed, so a one-replication sweep reproduces
+// RunGrid exactly) and returns the results in replication order.
+func RunGridSweep(ctx context.Context, cfg GridConfig, replications, workers int) ([]GridResult, runner.Stats, error) {
+	if replications <= 0 {
+		replications = 1
+	}
+	cfg = cfg.withDefaults()
+	seeds := runner.Seeds(cfg.Seed, replications)
+	return runner.Map(ctx, workers, replications, func(_ context.Context, i int) (GridResult, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		return runGridOnce(c)
+	})
+}
+
+// runGridOnce is one self-contained grid trial: it builds its own
+// environment, simulator and manager, so concurrent trials share nothing.
+func runGridOnce(cfg GridConfig) (GridResult, error) {
 	cfg = cfg.withDefaults()
 	env, err := topology.BuildGrid(cfg.Rows, cfg.Cols, 1.6e6)
 	if err != nil {

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
 	"armnet/internal/des"
 	"armnet/internal/maxmin"
 	"armnet/internal/randx"
+	"armnet/internal/runner"
 )
 
 // Theorem1Config drives the convergence study of the event-driven
@@ -60,68 +62,106 @@ type Theorem1Result struct {
 	WorstDiff float64
 }
 
+// theorem1Trial is the outcome of one independent problem instance.
+type theorem1Trial struct {
+	converged  bool
+	diff       float64
+	messages   int
+	sessions   int
+	syncRounds int
+}
+
 // RunTheorem1 generates random allocation problems, runs the event-driven
 // protocol to quiescence on each, and verifies the resulting rates
 // against the centralized water-filling solution — the empirical check of
 // Theorem 1. With Perturb it also exercises the steady-state→perturbed→
 // steady-state transition the theorem bounds.
 func RunTheorem1(cfg Theorem1Config) (Theorem1Result, error) {
+	r, _, err := RunTheorem1Parallel(context.Background(), cfg, 1)
+	return r, err
+}
+
+// RunTheorem1Parallel fans the problem instances across a worker pool.
+// Each instance derives its own RNG from (cfg.Seed, instance index) via
+// runner.SplitSeed and builds a private simulator and protocol, so the
+// aggregated result is bit-identical at any worker count.
+func RunTheorem1Parallel(ctx context.Context, cfg Theorem1Config, workers int) (Theorem1Result, runner.Stats, error) {
 	cfg = cfg.withDefaults()
-	rng := randx.New(cfg.Seed)
 	res := Theorem1Result{Refined: cfg.Refined, Instances: cfg.Instances}
-	for i := 0; i < cfg.Instances; i++ {
-		p := randomMaxminProblem(rng, 1+rng.Intn(cfg.MaxLinks), 1+rng.Intn(cfg.MaxConns))
-		simulator := des.New()
-		pr := maxmin.NewProtocol(simulator, maxmin.ProtocolOptions{Refined: cfg.Refined})
-		for l, c := range p.Capacity {
-			if err := pr.AddLink(l, c); err != nil {
-				return res, err
-			}
-		}
-		for _, c := range p.Conns {
-			if err := pr.AddConn(c); err != nil {
-				return res, err
-			}
-		}
-		pr.KickAll()
-		if err := simulator.RunUntil(500); err != nil {
-			return res, err
-		}
-		if cfg.Perturb {
-			links := sortedKeys(p.Capacity)
-			pick := links[rng.Intn(len(links))]
-			newCap := p.Capacity[pick] * (0.5 + rng.Float64())
-			p.Capacity[pick] = newCap
-			if _, err := pr.TriggerCapacityChange(pick, newCap); err != nil {
-				return res, err
-			}
-			if err := simulator.RunUntil(1500); err != nil {
-				return res, err
-			}
-		}
-		ref, err := maxmin.WaterFill(pr.Problem())
-		if err != nil {
-			return res, err
-		}
-		diff := ref.MaxDiff(pr.Rates())
-		if diff > res.WorstDiff {
-			res.WorstDiff = diff
-		}
-		if diff <= 1e-6 {
+	trials, st, err := runner.Map(ctx, workers, cfg.Instances, func(_ context.Context, i int) (theorem1Trial, error) {
+		return runTheorem1Instance(cfg, runner.SplitSeed(cfg.Seed, i))
+	})
+	if err != nil {
+		return res, st, err
+	}
+	for _, tr := range trials {
+		if tr.converged {
 			res.Converged++
 		}
-		res.TotalMessages += pr.Messages
-		res.TotalSessions += pr.Sessions
-
-		sres, err := maxmin.SyncSolver{MaxRounds: 500}.Solve(pr.Problem())
-		if err != nil {
-			return res, err
+		if tr.diff > res.WorstDiff {
+			res.WorstDiff = tr.diff
 		}
-		if sres.Rounds > res.MaxSyncRounds {
-			res.MaxSyncRounds = sres.Rounds
+		res.TotalMessages += tr.messages
+		res.TotalSessions += tr.sessions
+		if tr.syncRounds > res.MaxSyncRounds {
+			res.MaxSyncRounds = tr.syncRounds
 		}
 	}
-	return res, nil
+	return res, st, nil
+}
+
+// runTheorem1Instance runs one self-contained convergence trial: generate
+// a random instance from the trial seed, drive the event-driven protocol
+// to quiescence (optionally through a capacity perturbation), and compare
+// the settled rates against the water-filling oracle.
+func runTheorem1Instance(cfg Theorem1Config, seed int64) (theorem1Trial, error) {
+	rng := randx.New(seed)
+	p := randomMaxminProblem(rng, 1+rng.Intn(cfg.MaxLinks), 1+rng.Intn(cfg.MaxConns))
+	simulator := des.New()
+	pr := maxmin.NewProtocol(simulator, maxmin.ProtocolOptions{Refined: cfg.Refined})
+	for _, l := range sortedKeys(p.Capacity) {
+		if err := pr.AddLink(l, p.Capacity[l]); err != nil {
+			return theorem1Trial{}, err
+		}
+	}
+	for _, c := range p.Conns {
+		if err := pr.AddConn(c); err != nil {
+			return theorem1Trial{}, err
+		}
+	}
+	pr.KickAll()
+	if err := simulator.RunUntil(500); err != nil {
+		return theorem1Trial{}, err
+	}
+	if cfg.Perturb {
+		links := sortedKeys(p.Capacity)
+		pick := links[rng.Intn(len(links))]
+		newCap := p.Capacity[pick] * (0.5 + rng.Float64())
+		p.Capacity[pick] = newCap
+		if _, err := pr.TriggerCapacityChange(pick, newCap); err != nil {
+			return theorem1Trial{}, err
+		}
+		if err := simulator.RunUntil(1500); err != nil {
+			return theorem1Trial{}, err
+		}
+	}
+	ref, err := maxmin.WaterFill(pr.Problem())
+	if err != nil {
+		return theorem1Trial{}, err
+	}
+	tr := theorem1Trial{
+		diff:     ref.MaxDiff(pr.Rates()),
+		messages: pr.Messages,
+		sessions: pr.Sessions,
+	}
+	tr.converged = tr.diff <= 1e-6
+
+	sres, err := maxmin.SyncSolver{MaxRounds: 500}.Solve(pr.Problem())
+	if err != nil {
+		return theorem1Trial{}, err
+	}
+	tr.syncRounds = sres.Rounds
+	return tr, nil
 }
 
 // String renders the study summary.
