@@ -1,10 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench golden
+.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
-## detector, and the fuzz seed corpora in short mode.
-ci: vet build race fuzz-short
+## detector, the fuzz seed corpora in short mode, and the event-trace
+## replication check.
+ci: vet build race fuzz-short trace-determinism
 
 vet:
 	$(GO) vet ./...
@@ -29,7 +30,13 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz FuzzMaxminConvergence -fuzztime $(FUZZTIME) ./internal/maxmin
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' . ./internal/eventbus
+
+## trace-determinism: the event-stream replication gate — the full JSONL
+## trace of every reservation mode must be byte-identical at any worker
+## count.
+trace-determinism:
+	$(GO) test -run 'TraceDeterminism' ./internal/sim
 
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.

@@ -39,9 +39,12 @@
 package armnet
 
 import (
+	"io"
+
 	"armnet/internal/core"
 	"armnet/internal/dataplane"
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/reserve"
@@ -131,10 +134,18 @@ type Connection = core.Connection
 // Portable is a tracked mobile host.
 type Portable = core.Portable
 
-// Metrics exposes the network's counters and drop log.
+// Metrics exposes the network's counters and drop log. It is a built-in
+// subscriber of the network's event bus.
 type Metrics = core.Metrics
 
-// Counter names in Metrics.Counter.
+// Ctr identifies a counter in Metrics.Counter. Its String() is the
+// stable report name ("new-requested", ...).
+type Ctr = core.Ctr
+
+// CounterSet is the typed counter tally of Metrics.Counter.
+type CounterSet = core.CounterSet
+
+// Counters in Metrics.Counter.
 const (
 	CtrNewRequested   = core.CtrNewRequested
 	CtrNewAdmitted    = core.CtrNewAdmitted
@@ -250,6 +261,19 @@ func (n *Network) Portable(id string) *Portable { return n.mgr.Portable(id) }
 // Metrics returns the live metrics.
 func (n *Network) Metrics() *Metrics { return n.mgr.Met }
 
+// Bus returns the network's control-plane event bus. Subscribe before
+// running the simulation; subscribers must observe, not act (see the
+// eventbus package documentation for the determinism rules).
+func (n *Network) Bus() *EventBus { return n.mgr.Bus }
+
+// Trace subscribes a JSONL recorder for every control-plane event and
+// returns it; one line per event, stamped with simulated time and
+// sequence number. Attach before running the simulation. Check
+// EventRecorder.Err after the run for write failures.
+func (n *Network) Trace(w io.Writer) *EventRecorder {
+	return eventbus.AttachRecorder(n.mgr.Bus, w)
+}
+
 // WatchBandwidth registers a per-connection bandwidth-change callback —
 // the hook an adaptive application uses to switch encoding rates when the
 // network adapts its allocation.
@@ -292,7 +316,27 @@ type DataplaneOptions = dataplane.Options
 // NewDataplane attaches a packet-level data path to the network's
 // simulator and backbone. Start a flow for an admitted connection with
 // its granted bandwidth and declared (σ, ρ) envelope to measure actual
-// end-to-end delay and loss against the admitted bounds.
+// end-to-end delay and loss against the admitted bounds. Flow
+// start/stop milestones are published on the network's event bus.
 func (n *Network) NewDataplane(opts DataplaneOptions) (*Dataplane, error) {
+	if opts.Bus == nil {
+		opts.Bus = n.mgr.Bus
+	}
 	return dataplane.New(n.sim, n.mgr.Env.Backbone, opts)
 }
+
+// Event-stream vocabulary (see internal/eventbus for the full taxonomy).
+type (
+	// EventBus is the deterministic synchronous publish/subscribe hub
+	// every control-plane layer publishes through.
+	EventBus = eventbus.Bus
+	// EventRecord is one stamped event: (Seq, Time, Event).
+	EventRecord = eventbus.Record
+	// EventRecorder streams every event as one JSON line (see
+	// Network.Trace).
+	EventRecorder = eventbus.Recorder
+	// Event is the sealed typed-payload interface.
+	Event = eventbus.Event
+	// EventKind discriminates event payload types.
+	EventKind = eventbus.Kind
+)

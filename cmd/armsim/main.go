@@ -15,6 +15,14 @@
 // workers. Replication is deterministic: the per-replication table is
 // identical at any worker count; pool stats (wall time, speedup) print to
 // stderr.
+//
+// With -trace FILE every control-plane event (admission decisions,
+// handoffs, holds/commits/aborts, reservations, rate changes, …) is
+// written to FILE as JSON Lines, stamped with simulated time and a
+// per-run sequence number. Replications append in replication order, so
+// the file is byte-identical at any -parallel value. Use -mobility-trace
+// to replay a recorded CSV movement trace (see cmd/tracegen) instead of
+// generating a random walk.
 package main
 
 import (
@@ -42,7 +50,8 @@ func main() {
 	topoFile := flag.String("topology-file", "", "build the environment from a JSON spec instead of a named topology")
 	bmin := flag.Float64("bmin", 32e3, "connection b_min (bits/s)")
 	bmax := flag.Float64("bmax", 128e3, "connection b_max (bits/s)")
-	tracePath := flag.String("trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
+	mobilityTrace := flag.String("mobility-trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
+	tracePath := flag.String("trace", "", "write the control-plane event stream as JSON Lines to this file (- for stdout)")
 	replications := flag.Int("replications", 1, "independent scenario replications under derived seeds")
 	parallel := flag.Int("parallel", 1, "worker count for replications (0 = GOMAXPROCS); output is identical at any worker count")
 	flag.Parse()
@@ -51,7 +60,7 @@ func main() {
 		topo: *topo, topoFile: *topoFile,
 		portables: *portables, duration: *duration, dwell: *dwell,
 		modeName: *modeName, bmin: *bmin, bmax: *bmax,
-		tracePath: *tracePath,
+		mobilityPath: *mobilityTrace, tracePath: *tracePath,
 	}
 	if err := run(sc, *seed, *replications, *parallel, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "armsim:", err)
@@ -71,8 +80,9 @@ type scenario struct {
 	modeName       string
 	mode           armnet.ReservationMode
 	bmin, bmax     float64
-	tracePath      string
+	mobilityPath   string
 	trace          *mobility.Trace // replayed read-only when set
+	tracePath      string          // JSONL event-trace destination ("" = off)
 }
 
 // prepare resolves the mode, loads the optional topology spec and replay
@@ -96,8 +106,8 @@ func (sc *scenario) prepare() error {
 		sc.topoJSON = data
 		sc.topo = sc.topoFile
 	}
-	if sc.tracePath != "" {
-		f, err := os.Open(sc.tracePath)
+	if sc.mobilityPath != "" {
+		f, err := os.Open(sc.mobilityPath)
 		if err != nil {
 			return err
 		}
@@ -133,16 +143,28 @@ func (sc scenario) buildEnv() (*armnet.Environment, error) {
 	}
 }
 
+// replication is one finished trial: the network for reporting plus its
+// optional JSONL event trace.
+type replication struct {
+	net   *armnet.Network
+	trace []byte
+}
+
 // runOnce executes one self-contained replication under the given seed and
 // returns the finished network for reporting.
-func (sc scenario) runOnce(seed int64) (*armnet.Network, error) {
+func (sc scenario) runOnce(seed int64) (replication, error) {
 	env, err := sc.buildEnv()
 	if err != nil {
-		return nil, err
+		return replication{}, err
 	}
 	net, err := armnet.NewNetwork(env, armnet.Config{Seed: seed, Mode: sc.mode})
 	if err != nil {
-		return nil, err
+		return replication{}, err
+	}
+	var traceBuf bytes.Buffer
+	var rec *armnet.EventRecorder
+	if sc.tracePath != "" {
+		rec = net.Trace(&traceBuf)
 	}
 	// Mobility: replay the recorded trace, or generate a random walk.
 	trace := sc.trace
@@ -153,7 +175,7 @@ func (sc scenario) runOnce(seed int64) (*armnet.Network, error) {
 		}
 		trace, err = mobility.RandomWalk(env.Universe, names, sc.dwell, sc.duration, randx.New(seed+1))
 		if err != nil {
-			return nil, err
+			return replication{}, err
 		}
 	}
 	req := armnet.Request{
@@ -174,9 +196,12 @@ func (sc scenario) runOnce(seed int64) (*armnet.Network, error) {
 		})
 	}
 	if err := net.RunUntil(sc.duration); err != nil {
-		return nil, err
+		return replication{}, err
 	}
-	return net, nil
+	if rec != nil && rec.Err() != nil {
+		return replication{}, rec.Err()
+	}
+	return replication{net: net, trace: traceBuf.Bytes()}, nil
 }
 
 // run executes the scenario (optionally replicated) and prints the report.
@@ -188,23 +213,28 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 		replications = 1
 	}
 	seeds := runner.Seeds(seed, replications)
-	nets, st, err := runner.Map(context.Background(), parallel, replications,
-		func(_ context.Context, i int) (*armnet.Network, error) {
+	reps, st, err := runner.Map(context.Background(), parallel, replications,
+		func(_ context.Context, i int) (replication, error) {
 			return sc.runOnce(seeds[i])
 		})
 	if err != nil {
 		return err
 	}
+	if sc.tracePath != "" {
+		if err := writeTrace(sc.tracePath, reps, out); err != nil {
+			return err
+		}
+	}
 	if replications == 1 {
-		printDetailed(out, sc, seeds[0], nets[0])
+		printDetailed(out, sc, seeds[0], reps[0].net)
 		return nil
 	}
 	fmt.Fprintf(out, "topology=%s portables=%d duration=%.0fs mode=%s seed=%d replications=%d\n",
 		sc.topo, sc.portables, sc.duration, sc.mode, seed, replications)
 	tb := stats.Table{Header: []string{"seed", "handoffs", "drop-rate", "block-rate", "reservations", "pool-claims"}}
 	var dropSum, blockSum float64
-	for i, net := range nets {
-		c := net.Metrics().Counter
+	for i, rep := range reps {
+		c := rep.net.Metrics().Counter
 		drop := c.Ratio(armnet.CtrHandoffDropped, armnet.CtrHandoffTried)
 		block := c.Ratio(armnet.CtrNewBlocked, armnet.CtrNewRequested)
 		dropSum += drop
@@ -216,6 +246,27 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 	n := float64(replications)
 	fmt.Fprintf(out, "mean drop rate: %.4f  mean block rate: %.4f\n", dropSum/n, blockSum/n)
 	fmt.Fprintf(statsOut, "armsim: %s\n", st)
+	return nil
+}
+
+// writeTrace concatenates the per-replication JSONL event traces in
+// replication order — deterministic regardless of -parallel — to the
+// given path ("-" selects stdout).
+func writeTrace(path string, reps []replication, stdout io.Writer) error {
+	w := stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	for _, rep := range reps {
+		if _, err := w.Write(rep.trace); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 

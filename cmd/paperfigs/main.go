@@ -17,6 +17,10 @@
 // be regenerated at full speed and diffed against archived output. The
 // worker-pool stats (wall time, speedup) go to stderr, keeping stdout
 // clean for comparison.
+//
+// With -trace FILE the campus experiment additionally writes its
+// predictive-mode run as a JSONL control-plane event trace (one stamped
+// event per line) — the stream the campustrace golden test pins.
 package main
 
 import (
@@ -37,12 +41,13 @@ import (
 // runners. Deterministic experiment rows go to out; timing-dependent
 // worker-pool stats go to statsOut so out stays byte-comparable.
 type opts struct {
-	seed     int64
-	horizon  float64
-	walkBys  int
-	parallel int
-	out      io.Writer
-	statsOut io.Writer
+	seed      int64
+	horizon   float64
+	walkBys   int
+	parallel  int
+	tracePath string
+	out       io.Writer
+	statsOut  io.Writer
 }
 
 // experimentOrder is the -exp all sequence.
@@ -72,11 +77,13 @@ func main() {
 	horizon := flag.Float64("horizon", 200, "figure-6 simulation horizon (seconds)")
 	walkBys := flag.Int("walkbys", 400, "figure-5 corridor through-traffic volume")
 	parallel := flag.Int("parallel", 1, "worker count for multi-trial experiments (0 = GOMAXPROCS); output is identical at any worker count")
+	tracePath := flag.String("trace", "", "write the campus experiment's predictive-mode run as a JSONL event trace to this file")
 	flag.Parse()
 
 	o := opts{
 		seed: *seed, horizon: *horizon, walkBys: *walkBys, parallel: *parallel,
-		out: os.Stdout, statsOut: os.Stderr,
+		tracePath: *tracePath,
+		out:       os.Stdout, statsOut: os.Stderr,
 	}
 	names, err := resolveExperiments(*exp)
 	if err != nil {
@@ -226,11 +233,24 @@ func fig6(o opts) error {
 	return nil
 }
 
+// campusCfg is the campus experiment's configuration at a given seed
+// (mode left zero = predictive; the comparison runner overrides it).
+func campusCfg(seed int64) armnet.CampusConfig {
+	return armnet.CampusConfig{Seed: seed, Portables: 24, Duration: 2400}
+}
+
+// campusTrace reruns the predictive-mode campus scenario with a JSONL
+// event recorder attached and returns the trace bytes (-trace flag and
+// the campustrace golden test).
+func campusTrace(seed int64) ([]byte, error) {
+	_, trace, err := armnet.RunCampusTrace(campusCfg(seed))
+	return trace, err
+}
+
 // campus is the extension experiment: the integrated manager under the
 // three reservation modes on random-walk mobility, one worker per mode.
 func campus(o opts) error {
-	rs, st, err := armnet.RunCampusComparisonParallel(context.Background(),
-		armnet.CampusConfig{Seed: o.seed, Portables: 24, Duration: 2400}, o.parallel)
+	rs, st, err := armnet.RunCampusComparisonParallel(context.Background(), campusCfg(o.seed), o.parallel)
 	if err != nil {
 		return err
 	}
@@ -241,14 +261,23 @@ func campus(o opts) error {
 	}
 	fmt.Fprint(o.out, tb.String())
 	fmt.Fprintf(o.statsOut, "campus: %s\n", st)
+	if o.tracePath != "" {
+		trace, err := campusTrace(o.seed)
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.tracePath, trace, 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.statsOut, "campus: wrote event trace to %s\n", o.tracePath)
+	}
 	return nil
 }
 
 // tth sweeps the static/mobile threshold T_th (DESIGN.md's ablation), one
 // worker per threshold point.
 func tth(o opts) error {
-	points, st, err := armnet.RunTthSensitivityParallel(context.Background(),
-		armnet.CampusConfig{Seed: o.seed, Portables: 24, Duration: 2400}, nil, o.parallel)
+	points, st, err := armnet.RunTthSensitivityParallel(context.Background(), campusCfg(o.seed), nil, o.parallel)
 	if err != nil {
 		return err
 	}

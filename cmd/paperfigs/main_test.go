@@ -49,6 +49,42 @@ func TestTable2Golden(t *testing.T) {
 	}
 }
 
+// TestCampusTraceGolden pins the head of the seed-1 predictive campus
+// event trace (the stream `paperfigs -exp campus -trace FILE` writes) to
+// a checked-in fixture: any drift in event taxonomy, payload encoding,
+// stamping, or publication order of the control plane shows up as a diff
+// here. Only the first lines are pinned to keep the fixture reviewable;
+// full-trace determinism is covered by internal/sim.
+func TestCampusTraceGolden(t *testing.T) {
+	const head = 50
+	trace, err := campusTrace(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.SplitAfter(trace, []byte("\n"))
+	if len(lines) < head {
+		t.Fatalf("trace too short: %d lines", len(lines))
+	}
+	got := bytes.Join(lines[:head], nil)
+	golden := filepath.Join("testdata", "campustrace.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run `go test ./cmd/paperfigs -update` to create it)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("campus event trace drifted from golden file %s\n--- got ---\n%s\n--- want ---\n%s",
+			golden, got, want)
+	}
+}
+
 // TestTheorem1OutputIdenticalAcrossWorkers is the CLI-level replication
 // check: the rows printed for -exp theorem1 must be byte-identical at any
 // -parallel value.

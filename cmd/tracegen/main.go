@@ -1,6 +1,6 @@
 // Command tracegen generates mobility traces in the repository's CSV
 // interchange format (time,portable,from,to), for replay by
-// `armsim -trace` or external analysis.
+// `armsim -mobility-trace` or external analysis.
 //
 // Usage:
 //

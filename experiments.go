@@ -84,10 +84,13 @@ var (
 	RunTheorem1          = sim.RunTheorem1
 	RunCampus            = sim.RunCampus
 	RunCampusComparison  = sim.RunCampusComparison
-	RunTthSensitivity    = sim.RunTthSensitivity
-	RunGrid              = sim.RunGrid
-	RunBounds            = sim.RunBounds
-	RunCorridor          = sim.RunCorridor
+	// RunCampusTrace is RunCampus plus the run's full JSONL event trace
+	// (one control-plane event per line, stamped with time and sequence).
+	RunCampusTrace    = sim.RunCampusTrace
+	RunTthSensitivity = sim.RunTthSensitivity
+	RunGrid           = sim.RunGrid
+	RunBounds         = sim.RunBounds
+	RunCorridor       = sim.RunCorridor
 	// ErlangB is the analytic blocking formula used to validate the
 	// Figure 6 simulator.
 	ErlangB = sim.ErlangB

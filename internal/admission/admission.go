@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 
+	"armnet/internal/eventbus"
 	"armnet/internal/qos"
 	"armnet/internal/sched"
 	"armnet/internal/topology"
@@ -106,6 +107,10 @@ var ErrValidation = errors.New("admission: invalid test")
 // Controller runs Table 2 admission tests against a ledger.
 type Controller struct {
 	Ledger *Ledger
+	// Bus, when non-nil, receives an AdmissionDecision event for every
+	// completed Admit round trip — including renegotiations and multicast
+	// legs that the aggregate counters deliberately ignore.
+	Bus *eventbus.Bus
 }
 
 // NewController returns a controller over the given ledger.
@@ -115,6 +120,21 @@ func NewController(lg *Ledger) *Controller { return &Controller{Ledger: lg} }
 // connection's allocation is committed to every link of the route; on
 // failure no state changes.
 func (c *Controller) Admit(t Test) (Result, error) {
+	res, err := c.admit(t)
+	if err == nil {
+		c.Bus.Publish(eventbus.AdmissionDecision{
+			Conn:      t.ConnID,
+			Class:     t.Kind.String(),
+			Admitted:  res.Admitted,
+			Reason:    res.Reason,
+			Link:      string(res.FailedLink),
+			Bandwidth: res.Bandwidth,
+		})
+	}
+	return res, err
+}
+
+func (c *Controller) admit(t Test) (Result, error) {
 	if err := t.Req.Validate(); err != nil {
 		return Result{}, fmt.Errorf("%w: %v", ErrValidation, err)
 	}

@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"armnet/internal/adapt"
+	"armnet/internal/eventbus"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
@@ -86,7 +87,9 @@ func (m *Manager) refreshAdvance(p *Portable) {
 	place := func(cell topology.CellID) {
 		m.bookSet(m.downlink(cell), source, demand)
 		p.reservedCells[cell] = demand
-		m.Met.Counter.Inc(CtrAdvanceResv)
+		m.Bus.Publish(eventbus.AdvanceReservation{
+			Cell: string(cell), Portable: p.ID, Amount: demand,
+		})
 	}
 	switch m.Cfg.Mode {
 	case ModeBruteForce:
@@ -211,6 +214,11 @@ func (m *Manager) evaluateMeetings(cell *topology.Cell, now float64) {
 		}
 	}
 	m.meetings[cell.ID] = active
+	if total := roomTotal + neighborTotal; total > 0 {
+		m.Bus.Publish(eventbus.PolicyReservation{
+			Cell: string(cell.ID), Source: tag, Amount: total,
+		})
+	}
 	m.bookSet(m.downlink(cell.ID), tag, roomTotal)
 	// Split the departure reservation over the neighbors by the cell's
 	// handoff distribution.
@@ -227,6 +235,11 @@ func (m *Manager) evaluateMeetings(cell *topology.Cell, now float64) {
 
 func (m *Manager) applyLoungePlan(cell *topology.Cell, plan reserve.LoungePlan) {
 	tag := "policy:" + string(cell.ID)
+	if total := plan.Total(); total > 0 {
+		m.Bus.Publish(eventbus.PolicyReservation{
+			Cell: string(cell.ID), Source: tag, Amount: total,
+		})
+	}
 	for _, nid := range cell.Neighbors() {
 		m.bookSet(m.downlink(nid), tag, plan.Neighbor[nid])
 	}

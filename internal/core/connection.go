@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"armnet/internal/admission"
+	"armnet/internal/eventbus"
 	"armnet/internal/qos"
 	"armnet/internal/topology"
 )
@@ -22,7 +23,7 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrUnknownPortable, portable)
 	}
-	m.Met.Counter.Inc(CtrNewRequested)
+	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
 	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
 	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
 	if err != nil {
@@ -31,7 +32,7 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 	connID := fmt.Sprintf("conn-%d", m.nextConn)
 	m.nextConn++
 	if req.BestEffort() {
-		m.Met.Counter.Inc(CtrNewAdmitted)
+		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
 		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
 		m.conns[connID] = c
 		p.conns[connID] = true
@@ -50,10 +51,10 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 		return "", err
 	}
 	if !res.Admitted {
-		m.Met.Counter.Inc(CtrNewBlocked)
+		m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: res.Reason})
 		return "", fmt.Errorf("%w: %s at %s", ErrRejected, res.Reason, res.FailedLink)
 	}
-	m.Met.Counter.Inc(CtrNewAdmitted)
+	m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: res.Bandwidth})
 	c := &Connection{
 		ID: connID, Portable: portable, Req: req,
 		Host: host, Route: route, Bandwidth: res.Bandwidth,
@@ -77,6 +78,7 @@ func (m *Manager) CloseConnection(connID string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownConn, connID)
 	}
+	m.Bus.Publish(eventbus.ConnectionClosed{Conn: connID, Portable: c.Portable})
 	m.Ctl.Ledger.Release(connID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {
@@ -179,7 +181,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 	kind := admission.KindHandoff
 	if !predicted {
 		kind = admission.KindPoolClaim
-		m.Met.Counter.Inc(CtrPoolClaims)
+		m.Bus.Publish(eventbus.PoolClaim{Portable: id, From: string(from), To: string(to)})
 	}
 	// Update counters for meeting rooms.
 	m.noteMeetingDeparture(id, from)
@@ -195,18 +197,21 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 
 	for _, connID := range p.Conns() {
 		c := m.conns[connID]
-		m.Met.Counter.Inc(CtrHandoffTried)
+		m.Bus.Publish(eventbus.HandoffAttempt{
+			Conn: connID, Portable: id,
+			From: string(from), To: string(to), Predicted: predicted,
+		})
 		newRoute, err := m.Env.Backbone.ShortestPath(c.Host, topology.AirNode(to))
 		if err != nil {
 			m.dropConnection(c, p)
 			continue
 		}
-		m.recordHandoffLatency(newRoute, predicted)
+		m.recordHandoffLatency(c, newRoute, predicted)
 		if c.Req.BestEffort() {
 			// Best-effort connections carry no reservation: they follow
 			// the portable unconditionally.
 			c.Route = newRoute
-			m.Met.Counter.Inc(CtrHandoffOK)
+			m.Bus.Publish(eventbus.HandoffOutcome{Conn: connID, Portable: id})
 			continue
 		}
 		// Release the old path first (the portable has left the cell),
@@ -225,7 +230,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 			m.dropConnection(c, p)
 			continue
 		}
-		m.Met.Counter.Inc(CtrHandoffOK)
+		m.Bus.Publish(eventbus.HandoffOutcome{Conn: connID, Portable: id})
 		if m.Adpt != nil {
 			m.Adpt.Unregister(connID)
 		}
@@ -250,10 +255,10 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 }
 
 // dropConnection force-terminates a connection that failed its handoff
-// admission.
+// admission. The drop log lives in Metrics, which hears about it through
+// the HandoffOutcome event.
 func (m *Manager) dropConnection(c *Connection, p *Portable) {
-	m.Met.Counter.Inc(CtrHandoffDropped)
-	m.Met.Drops = append(m.Met.Drops, c.ID)
+	m.Bus.Publish(eventbus.HandoffOutcome{Conn: c.ID, Portable: p.ID, Dropped: true})
 	m.Ctl.Ledger.Release(c.ID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {

@@ -18,6 +18,7 @@ import (
 	"armnet/internal/adapt"
 	"armnet/internal/admission"
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/maxmin"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
@@ -26,7 +27,6 @@ import (
 	"armnet/internal/reserve"
 	"armnet/internal/sched"
 	"armnet/internal/signal"
-	"armnet/internal/stats"
 	"armnet/internal/topology"
 )
 
@@ -62,7 +62,8 @@ func (m ReservationMode) String() string {
 
 // Config parameterizes a Manager.
 type Config struct {
-	// Seed drives every random draw (default 1).
+	// Seed drives every random draw. Every int64 is a valid, distinct
+	// seed — including 0, the zero-value default.
 	Seed int64
 	// Tth is the static/mobile threshold in seconds (default 300).
 	Tth float64
@@ -85,9 +86,6 @@ type Config struct {
 }
 
 func (c Config) withDefaults() Config {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Tth <= 0 {
 		c.Tth = 300
 	}
@@ -145,33 +143,16 @@ type Connection struct {
 	Multicast *topology.MulticastTree
 }
 
-// Metrics aggregates the manager's observable outcomes.
-type Metrics struct {
-	Counter *stats.Counter
-	// Drops lists dropped connection IDs in order.
-	Drops []string
-}
-
-// Counter names used by the manager.
-const (
-	CtrNewRequested   = "new-requested"
-	CtrNewAdmitted    = "new-admitted"
-	CtrNewBlocked     = "new-blocked"
-	CtrHandoffTried   = "handoff-attempted"
-	CtrHandoffOK      = "handoff-succeeded"
-	CtrHandoffDropped = "handoff-dropped"
-	CtrAdaptUpdates   = "adaptation-updates"
-	CtrAdvanceResv    = "advance-reservations"
-	CtrPoolClaims     = "pool-claims"
-)
-
 // Manager is the integrated resource manager.
 type Manager struct {
-	Sim  *des.Simulator
-	Env  *topology.Environment
-	Cfg  Config
-	Rng  *randx.Rand
-	Ctl  *admission.Controller
+	Sim *des.Simulator
+	Env *topology.Environment
+	Cfg Config
+	Rng *randx.Rand
+	Ctl *admission.Controller
+	// Bus carries every control-plane decision as a typed event; Met,
+	// Latency, and the bandwidth watchers are its built-in subscribers.
+	Bus  *eventbus.Bus
 	Adpt *adapt.Manager
 	Pred *predict.Predictor
 	Met  *Metrics
@@ -217,33 +198,53 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 	}
 	cfg = cfg.withDefaults()
 	lg := admission.NewLedger(env.Backbone)
+	bus := eventbus.New(sim)
 	m := &Manager{
 		Sim:          sim,
 		Env:          env,
 		Cfg:          cfg,
 		Rng:          randx.New(cfg.Seed),
 		Ctl:          admission.NewController(lg),
+		Bus:          bus,
 		Pred:         predict.New(env.Universe, cfg.Profiles),
-		Met:          &Metrics{Counter: stats.NewCounter()},
+		Met:          NewMetrics(bus),
 		portables:    make(map[string]*Portable),
 		conns:        make(map[string]*Connection),
 		book:         make(map[topology.LinkID]map[string]float64),
 		meetings:     make(map[topology.CellID][]*meetingState),
 		rateWatchers: make(map[string]func(float64)),
 	}
+	m.Ctl.Bus = bus
+	// Built-in subscribers beyond Metrics: the handoff-latency
+	// distributions and the per-connection bandwidth watchers. They are
+	// registered after Metrics so a watcher callback observes counters
+	// already updated for the event that triggered it (the ordering the
+	// pre-bus implementation had).
+	bus.Subscribe(func(r eventbus.Record) {
+		ev := r.Event.(eventbus.HandoffLatency)
+		if ev.Predicted {
+			m.Latency.Predicted.Observe(ev.Latency)
+		} else {
+			m.Latency.Unpredicted.Observe(ev.Latency)
+		}
+	}, eventbus.KindHandoffLatency)
+	bus.Subscribe(func(r eventbus.Record) {
+		ev := r.Event.(eventbus.BandwidthChange)
+		if w := m.rateWatchers[ev.Conn]; w != nil {
+			w(ev.Bandwidth)
+		}
+	}, eventbus.KindBandwidthChange)
 	if !cfg.DisableAdaptation {
 		var err error
 		m.Adpt, err = adapt.NewManager(sim, lg, cfg.Proto)
 		if err != nil {
 			return nil, err
 		}
+		m.Adpt.Proto.Bus = bus
 		m.Adpt.OnRate = func(connID string, bw float64) {
 			if c, ok := m.conns[connID]; ok {
 				c.Bandwidth = bw
-				m.Met.Counter.Inc(CtrAdaptUpdates)
-				if w := m.rateWatchers[connID]; w != nil {
-					w(bw)
-				}
+				bus.Publish(eventbus.BandwidthChange{Conn: connID, Bandwidth: bw})
 			}
 		}
 	}

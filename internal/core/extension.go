@@ -88,6 +88,7 @@ func (m *Manager) AttachChannel(cell topology.CellID, levels []float64, dwellMea
 	if err != nil {
 		return nil, err
 	}
+	cp.PublishTo(m.Bus, string(link))
 	cp.Attach(m.Sim, func(capacity float64) {
 		if m.Adpt != nil {
 			_ = m.Adpt.CapacityChanged(link, capacity)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"armnet/internal/eventbus"
 	"armnet/internal/stats"
 	"armnet/internal/topology"
 )
@@ -49,18 +50,17 @@ func localHandoffLatency() float64 {
 	return 2 * 2 * (bsToSwitch + perHopProcessing)
 }
 
-// recordHandoffLatency folds one handoff's latency into the stats.
-func (m *Manager) recordHandoffLatency(route topology.Route, predicted bool) float64 {
+// recordHandoffLatency publishes one handoff's latency; the Latency
+// distributions are subscribers and fold it in from the event.
+func (m *Manager) recordHandoffLatency(c *Connection, route topology.Route, predicted bool) float64 {
 	var d float64
 	if predicted {
 		d = localHandoffLatency()
 	} else {
 		d = signalingLatency(route)
 	}
-	if predicted {
-		m.Latency.Predicted.Observe(d)
-	} else {
-		m.Latency.Unpredicted.Observe(d)
-	}
+	m.Bus.Publish(eventbus.HandoffLatency{
+		Conn: c.ID, Portable: c.Portable, Predicted: predicted, Latency: d,
+	})
 	return d
 }

@@ -1,0 +1,153 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"armnet/internal/eventbus"
+)
+
+// Ctr is a typed counter identifier. The manager itself never increments
+// counters: it publishes events on the bus, and Metrics — a built-in
+// subscriber — folds them into this closed set.
+type Ctr int
+
+// Counters maintained by Metrics.
+const (
+	CtrNewRequested Ctr = iota
+	CtrNewAdmitted
+	CtrNewBlocked
+	CtrHandoffTried
+	CtrHandoffOK
+	CtrHandoffDropped
+	CtrAdaptUpdates
+	CtrAdvanceResv
+	CtrPoolClaims
+
+	ctrCount int = iota
+)
+
+var ctrNames = [ctrCount]string{
+	CtrNewRequested:   "new-requested",
+	CtrNewAdmitted:    "new-admitted",
+	CtrNewBlocked:     "new-blocked",
+	CtrHandoffTried:   "handoff-attempted",
+	CtrHandoffOK:      "handoff-succeeded",
+	CtrHandoffDropped: "handoff-dropped",
+	CtrAdaptUpdates:   "adaptation-updates",
+	CtrAdvanceResv:    "advance-reservations",
+	CtrPoolClaims:     "pool-claims",
+}
+
+// String returns the stable report name (the strings the pre-enum API
+// used, so printed tables are unchanged).
+func (c Ctr) String() string {
+	if c < 0 || int(c) >= ctrCount {
+		return fmt.Sprintf("Ctr(%d)", int(c))
+	}
+	return ctrNames[c]
+}
+
+// CounterSet is a fixed-size tally over the Ctr enum.
+type CounterSet struct {
+	counts [ctrCount]int64
+}
+
+// NewCounterSet returns an empty counter set.
+func NewCounterSet() *CounterSet { return &CounterSet{} }
+
+// Inc adds one to the counter.
+func (s *CounterSet) Inc(c Ctr) { s.counts[c]++ }
+
+// Add adds delta to the counter.
+func (s *CounterSet) Add(c Ctr, delta int64) { s.counts[c] += delta }
+
+// Get returns the counter's value.
+func (s *CounterSet) Get(c Ctr) int64 { return s.counts[c] }
+
+// Ratio returns num/den, or 0 when den is 0.
+func (s *CounterSet) Ratio(num, den Ctr) float64 {
+	d := s.counts[den]
+	if d == 0 {
+		return 0
+	}
+	return float64(s.counts[num]) / float64(d)
+}
+
+// Names returns the counters with nonzero values, sorted by report name —
+// the same contract the string-keyed counter map offered, so report
+// loops render identical tables.
+func (s *CounterSet) Names() []Ctr {
+	out := make([]Ctr, 0, ctrCount)
+	for c := 0; c < ctrCount; c++ {
+		if s.counts[c] != 0 {
+			out = append(out, Ctr(c))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].String() < out[j].String() })
+	return out
+}
+
+// String renders "name=value" pairs sorted by name.
+func (s *CounterSet) String() string {
+	var b strings.Builder
+	for i, c := range s.Names() {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c, s.counts[c])
+	}
+	return b.String()
+}
+
+// Metrics aggregates the manager's observable outcomes. It is a bus
+// subscriber: construct it with NewMetrics and it stays current as the
+// control plane publishes.
+type Metrics struct {
+	Counter *CounterSet
+	// Drops lists dropped connection IDs in order.
+	Drops []string
+}
+
+// NewMetrics subscribes a fresh metrics aggregate to the bus.
+func NewMetrics(bus *eventbus.Bus) *Metrics {
+	m := &Metrics{Counter: NewCounterSet()}
+	bus.Subscribe(m.observe,
+		eventbus.KindConnectionRequested,
+		eventbus.KindConnectionAdmitted,
+		eventbus.KindConnectionBlocked,
+		eventbus.KindHandoffAttempt,
+		eventbus.KindHandoffOutcome,
+		eventbus.KindPoolClaim,
+		eventbus.KindAdvanceReservation,
+		eventbus.KindBandwidthChange,
+	)
+	return m
+}
+
+func (m *Metrics) observe(r eventbus.Record) {
+	switch ev := r.Event.(type) {
+	case eventbus.ConnectionRequested:
+		m.Counter.Inc(CtrNewRequested)
+	case eventbus.ConnectionAdmitted:
+		m.Counter.Inc(CtrNewAdmitted)
+	case eventbus.ConnectionBlocked:
+		m.Counter.Inc(CtrNewBlocked)
+	case eventbus.HandoffAttempt:
+		m.Counter.Inc(CtrHandoffTried)
+	case eventbus.HandoffOutcome:
+		if ev.Dropped {
+			m.Counter.Inc(CtrHandoffDropped)
+			m.Drops = append(m.Drops, ev.Conn)
+		} else {
+			m.Counter.Inc(CtrHandoffOK)
+		}
+	case eventbus.PoolClaim:
+		m.Counter.Inc(CtrPoolClaims)
+	case eventbus.AdvanceReservation:
+		m.Counter.Inc(CtrAdvanceResv)
+	case eventbus.BandwidthChange:
+		m.Counter.Inc(CtrAdaptUpdates)
+	}
+}

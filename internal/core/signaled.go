@@ -4,16 +4,18 @@ import (
 	"fmt"
 
 	"armnet/internal/admission"
+	"armnet/internal/eventbus"
 	"armnet/internal/qos"
 	"armnet/internal/signal"
 	"armnet/internal/topology"
 )
 
 // SignalPlane lazily constructs the signaling plane (§5.1's round-trip
-// setup as timed control messages with tentative holds).
+// setup as timed control messages with tentative holds). Its hold/commit/
+// abort milestones are published on the manager's bus.
 func (m *Manager) SignalPlane() *signal.Plane {
 	if m.sigPlane == nil {
-		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, signal.Options{})
+		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, signal.Options{Bus: m.Bus})
 	}
 	return m.sigPlane
 }
@@ -37,7 +39,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 	if done == nil {
 		return fmt.Errorf("core: nil completion callback")
 	}
-	m.Met.Counter.Inc(CtrNewRequested)
+	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
 	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
 	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
 	if err != nil {
@@ -46,7 +48,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 	connID := fmt.Sprintf("conn-%d", m.nextConn)
 	m.nextConn++
 	if req.BestEffort() {
-		m.Met.Counter.Inc(CtrNewAdmitted)
+		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
 		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
 		m.conns[connID] = c
 		p.conns[connID] = true
@@ -64,7 +66,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		LMax:       m.Cfg.LMax,
 	}, func(r signal.Result) {
 		if r.Err != nil {
-			m.Met.Counter.Inc(CtrNewBlocked)
+			m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: r.Err.Error()})
 			done("", fmt.Errorf("%w: %v", ErrRejected, r.Err))
 			return
 		}
@@ -72,11 +74,11 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		// not shift under us.
 		if cur, ok := m.portables[portable]; !ok || cur.Cell != originCell {
 			m.Ctl.Ledger.Release(connID, route)
-			m.Met.Counter.Inc(CtrNewBlocked)
+			m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: "portable moved during setup"})
 			done("", fmt.Errorf("%w: portable moved during setup", ErrRejected))
 			return
 		}
-		m.Met.Counter.Inc(CtrNewAdmitted)
+		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: r.Admission.Bandwidth})
 		c := &Connection{
 			ID: connID, Portable: portable, Req: req,
 			Host: host, Route: route, Bandwidth: r.Admission.Bandwidth,

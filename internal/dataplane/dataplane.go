@@ -15,6 +15,7 @@ import (
 	"sort"
 
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/qos"
 	"armnet/internal/randx"
 	"armnet/internal/sched"
@@ -30,19 +31,19 @@ type Options struct {
 	// PacketSize is the source packet size in bits (default 8192 — the
 	// admission DefaultLMax).
 	PacketSize float64
-	// Seed drives loss draws and source jitter.
+	// Seed drives loss draws and source jitter. Every int64 is a valid,
+	// distinct seed — including 0, the zero-value default.
 	Seed int64
 	// WirelessChannel, when non-nil, is used on wireless links instead
 	// of their static LossProb (Gilbert–Elliott burst loss).
 	WirelessChannel *wireless.GilbertElliott
+	// Bus, when non-nil, receives FlowStarted / FlowStopped events.
+	Bus *eventbus.Bus
 }
 
 func (o Options) withDefaults() Options {
 	if o.PacketSize <= 0 {
 		o.PacketSize = 8192
-	}
-	if o.Seed == 0 {
-		o.Seed = 1
 	}
 	return o
 }
@@ -233,6 +234,7 @@ func (dp *Dataplane) StartFlow(id string, route topology.Route, rate float64, sp
 		}
 		dp.nextHop[l.ID][id] = next
 	}
+	dp.opts.Bus.Publish(eventbus.FlowStarted{Conn: id, Rate: rate})
 	// Source: emit the burst now, then steady packets at ρ.
 	first := route.Links[0].ID
 	size := dp.opts.PacketSize
@@ -265,6 +267,10 @@ func (dp *Dataplane) StopFlow(id string) {
 		delete(dp.nextHop[l.ID], id)
 	}
 	delete(dp.flows, id)
+	dp.opts.Bus.Publish(eventbus.FlowStopped{
+		Conn: id, Sent: int(f.stats.Sent),
+		Delivered: int(f.stats.Delivered), Lost: int(f.stats.Lost),
+	})
 }
 
 // Stats returns the flow's measurements, or nil for unknown flows

@@ -1,0 +1,52 @@
+package eventbus
+
+import (
+	"io"
+	"testing"
+)
+
+// The benchmarks track the cost the bus adds to every control-plane
+// decision. `make bench` runs them so later PRs can watch publish
+// overhead as the subscriber population grows.
+
+func BenchmarkPublishNoSubscribers(b *testing.B) {
+	bus := New(&fakeClock{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+	}
+}
+
+func BenchmarkPublishOneKindSubscriber(b *testing.B) {
+	bus := New(&fakeClock{})
+	var n int
+	bus.Subscribe(func(Record) { n++ }, KindBandwidthChange)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+	}
+	_ = n
+}
+
+func BenchmarkPublishFourSubscribers(b *testing.B) {
+	bus := New(&fakeClock{})
+	var n int
+	bus.Subscribe(func(Record) { n++ }, KindBandwidthChange)
+	bus.Subscribe(func(Record) { n++ }, KindBandwidthChange, KindConnectionAdmitted)
+	bus.Subscribe(func(Record) { n++ })
+	bus.Subscribe(func(Record) { n++ })
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+	}
+	_ = n
+}
+
+func BenchmarkPublishWithJSONLRecorder(b *testing.B) {
+	bus := New(&fakeClock{})
+	AttachRecorder(bus, io.Discard)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+	}
+}

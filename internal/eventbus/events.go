@@ -1,0 +1,280 @@
+package eventbus
+
+// Kind identifies the concrete type of an Event. The set is closed: the
+// control plane's observable vocabulary is defined here, and subscribers
+// can switch exhaustively on it.
+type Kind int
+
+const (
+	// KindConnectionRequested marks the arrival of a new-connection
+	// request, before any admission test runs.
+	KindConnectionRequested Kind = iota
+	// KindConnectionAdmitted marks a new connection entering service
+	// (possibly best-effort).
+	KindConnectionAdmitted
+	// KindConnectionBlocked marks a new connection rejected outright.
+	KindConnectionBlocked
+	// KindConnectionClosed marks a voluntary teardown.
+	KindConnectionClosed
+	// KindAdmissionDecision is the trace-level outcome of every
+	// admission.Controller.Admit call, including renegotiations and
+	// per-receiver multicast legs that the aggregate counters ignore.
+	KindAdmissionDecision
+	// KindHandoffAttempt marks one connection starting a handoff re-test
+	// in the destination cell.
+	KindHandoffAttempt
+	// KindHandoffOutcome resolves an attempt: carried over or dropped.
+	KindHandoffOutcome
+	// KindHandoffLatency reports the signaling latency charged to one
+	// connection's handoff (predicted cells pay less, §6.2).
+	KindHandoffLatency
+	// KindPoolClaim marks an unpredicted handoff dipping into the shared
+	// B_dyn pool.
+	KindPoolClaim
+	// KindAdvanceReservation marks b_resv,l being (re)placed in a cell
+	// for a predicted portable.
+	KindAdvanceReservation
+	// KindPolicyReservation marks a reserve-package policy (meeting
+	// schedule, lounge heuristic) holding capacity in a cell.
+	KindPolicyReservation
+	// KindBandwidthChange marks the rate-adaptation layer committing a
+	// new allocation to a running connection.
+	KindBandwidthChange
+	// KindAdaptationRound marks one ADVERTISE round of the maxmin
+	// protocol stamping a rate for a connection.
+	KindAdaptationRound
+	// KindMaxminConverged marks the maxmin protocol going quiescent: no
+	// active or dirty sessions remain.
+	KindMaxminConverged
+	// KindCapacityChange marks a wireless channel's effective capacity
+	// shifting to a new level.
+	KindCapacityChange
+	// KindSignalHold marks a tentative per-link hold placed by the
+	// signaling plane's forward pass (§5.1).
+	KindSignalHold
+	// KindSignalCommit marks a signaling session converting its holds
+	// into a committed connection.
+	KindSignalCommit
+	// KindSignalAbort marks a signaling session rolling its holds back.
+	KindSignalAbort
+	// KindFlowStarted marks a packet-level flow starting in the data
+	// plane.
+	KindFlowStarted
+	// KindFlowStopped marks a data-plane flow stopping, with its final
+	// packet accounting.
+	KindFlowStopped
+
+	kindCount int = iota
+)
+
+var kindNames = [kindCount]string{
+	KindConnectionRequested: "connection-requested",
+	KindConnectionAdmitted:  "connection-admitted",
+	KindConnectionBlocked:   "connection-blocked",
+	KindConnectionClosed:    "connection-closed",
+	KindAdmissionDecision:   "admission-decision",
+	KindHandoffAttempt:      "handoff-attempt",
+	KindHandoffOutcome:      "handoff-outcome",
+	KindHandoffLatency:      "handoff-latency",
+	KindPoolClaim:           "pool-claim",
+	KindAdvanceReservation:  "advance-reservation",
+	KindPolicyReservation:   "policy-reservation",
+	KindBandwidthChange:     "bandwidth-change",
+	KindAdaptationRound:     "adaptation-round",
+	KindMaxminConverged:     "maxmin-converged",
+	KindCapacityChange:      "capacity-change",
+	KindSignalHold:          "signal-hold",
+	KindSignalCommit:        "signal-commit",
+	KindSignalAbort:         "signal-abort",
+	KindFlowStarted:         "flow-started",
+	KindFlowStopped:         "flow-stopped",
+}
+
+// String returns the stable wire name used in JSONL traces.
+func (k Kind) String() string {
+	if k < 0 || int(k) >= kindCount {
+		return "unknown"
+	}
+	return kindNames[k]
+}
+
+// Event is the sealed payload interface: exactly the types in this file
+// implement it.
+type Event interface {
+	Kind() Kind
+}
+
+// ConnectionRequested is published when a portable asks for a new
+// connection, before a route or ID exists (Conn is empty until admission
+// is attempted).
+type ConnectionRequested struct {
+	Portable string `json:"portable"`
+}
+
+// ConnectionAdmitted is published when a new connection enters service.
+// BestEffort marks connections carried without a QoS contract.
+type ConnectionAdmitted struct {
+	Conn       string  `json:"conn"`
+	Portable   string  `json:"portable"`
+	Bandwidth  float64 `json:"bw"`
+	BestEffort bool    `json:"best_effort,omitempty"`
+}
+
+// ConnectionBlocked is published when a new connection is rejected.
+type ConnectionBlocked struct {
+	Portable string `json:"portable"`
+	Reason   string `json:"reason,omitempty"`
+}
+
+// ConnectionClosed is published on voluntary teardown.
+type ConnectionClosed struct {
+	Conn     string `json:"conn"`
+	Portable string `json:"portable"`
+}
+
+// AdmissionDecision is published by the admission controller for every
+// completed Table 2 round trip (validation errors excluded).
+type AdmissionDecision struct {
+	Conn      string  `json:"conn"`
+	Class     string  `json:"kind"` // "new", "handoff", "pool-claim"
+	Admitted  bool    `json:"admitted"`
+	Reason    string  `json:"reason,omitempty"`
+	Link      string  `json:"link,omitempty"` // forward-pass failure site
+	Bandwidth float64 `json:"bw,omitempty"`   // committed b_j on success
+}
+
+// HandoffAttempt is published once per connection re-tested in the
+// destination cell of a handoff.
+type HandoffAttempt struct {
+	Conn      string `json:"conn"`
+	Portable  string `json:"portable"`
+	From      string `json:"from"`
+	To        string `json:"to"`
+	Predicted bool   `json:"predicted"`
+}
+
+// HandoffOutcome resolves a handoff attempt for one connection.
+type HandoffOutcome struct {
+	Conn     string `json:"conn"`
+	Portable string `json:"portable"`
+	Dropped  bool   `json:"dropped"`
+}
+
+// HandoffLatency reports the signaling latency charged to one
+// connection's handoff.
+type HandoffLatency struct {
+	Conn      string  `json:"conn"`
+	Portable  string  `json:"portable"`
+	Predicted bool    `json:"predicted"`
+	Latency   float64 `json:"latency"`
+}
+
+// PoolClaim is published when an unpredicted handoff claims from B_dyn.
+type PoolClaim struct {
+	Portable string `json:"portable"`
+	From     string `json:"from"`
+	To       string `json:"to"`
+}
+
+// AdvanceReservation is published when b_resv,l is placed for a portable
+// predicted to enter a cell.
+type AdvanceReservation struct {
+	Cell     string  `json:"cell"`
+	Portable string  `json:"portable"`
+	Amount   float64 `json:"amount"`
+}
+
+// PolicyReservation is published when a reserve-package plan (meeting
+// schedule, cafeteria/lounge heuristic) holds capacity in a cell.
+type PolicyReservation struct {
+	Cell   string  `json:"cell"`
+	Source string  `json:"source"`
+	Amount float64 `json:"amount"`
+}
+
+// BandwidthChange is published when rate adaptation commits a new
+// allocation to a running connection.
+type BandwidthChange struct {
+	Conn      string  `json:"conn"`
+	Bandwidth float64 `json:"bw"`
+}
+
+// AdaptationRound is published for each maxmin ADVERTISE round that
+// stamps a rate for a connection.
+type AdaptationRound struct {
+	Conn  string  `json:"conn"`
+	Round int     `json:"round"`
+	Stamp float64 `json:"stamp"`
+}
+
+// MaxminConverged is published when the maxmin protocol goes quiescent.
+// Sessions and Messages are the protocol's cumulative totals at that
+// point, so the deltas between consecutive events cost one burst.
+type MaxminConverged struct {
+	Sessions int `json:"sessions"`
+	Messages int `json:"messages"`
+}
+
+// CapacityChange is published when a wireless channel's effective
+// capacity moves to a new level.
+type CapacityChange struct {
+	Link     string  `json:"link"`
+	Capacity float64 `json:"capacity"`
+}
+
+// SignalHold is published when the signaling forward pass places a
+// tentative per-link hold.
+type SignalHold struct {
+	Conn string `json:"conn"`
+	Link string `json:"link"`
+}
+
+// SignalCommit is published when a signaling session commits, carrying
+// the end-to-end setup latency.
+type SignalCommit struct {
+	Conn    string  `json:"conn"`
+	Latency float64 `json:"latency"`
+}
+
+// SignalAbort is published when a signaling session rolls back its
+// tentative holds. Hop is the 0-based index the session had reached.
+type SignalAbort struct {
+	Conn   string `json:"conn"`
+	Reason string `json:"reason"`
+	Hop    int    `json:"hop"`
+}
+
+// FlowStarted is published when a packet-level flow begins.
+type FlowStarted struct {
+	Conn string  `json:"conn"`
+	Rate float64 `json:"rate"`
+}
+
+// FlowStopped is published when a packet-level flow ends.
+type FlowStopped struct {
+	Conn      string `json:"conn"`
+	Sent      int    `json:"sent"`
+	Delivered int    `json:"delivered"`
+	Lost      int    `json:"lost"`
+}
+
+func (ConnectionRequested) Kind() Kind { return KindConnectionRequested }
+func (ConnectionAdmitted) Kind() Kind  { return KindConnectionAdmitted }
+func (ConnectionBlocked) Kind() Kind   { return KindConnectionBlocked }
+func (ConnectionClosed) Kind() Kind    { return KindConnectionClosed }
+func (AdmissionDecision) Kind() Kind   { return KindAdmissionDecision }
+func (HandoffAttempt) Kind() Kind      { return KindHandoffAttempt }
+func (HandoffOutcome) Kind() Kind      { return KindHandoffOutcome }
+func (HandoffLatency) Kind() Kind      { return KindHandoffLatency }
+func (PoolClaim) Kind() Kind           { return KindPoolClaim }
+func (AdvanceReservation) Kind() Kind  { return KindAdvanceReservation }
+func (PolicyReservation) Kind() Kind   { return KindPolicyReservation }
+func (BandwidthChange) Kind() Kind     { return KindBandwidthChange }
+func (AdaptationRound) Kind() Kind     { return KindAdaptationRound }
+func (MaxminConverged) Kind() Kind     { return KindMaxminConverged }
+func (CapacityChange) Kind() Kind      { return KindCapacityChange }
+func (SignalHold) Kind() Kind          { return KindSignalHold }
+func (SignalCommit) Kind() Kind        { return KindSignalCommit }
+func (SignalAbort) Kind() Kind         { return KindSignalAbort }
+func (FlowStarted) Kind() Kind         { return KindFlowStarted }
+func (FlowStopped) Kind() Kind         { return KindFlowStopped }

@@ -1,0 +1,51 @@
+package eventbus
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// traceLine is the JSONL envelope. Struct-based marshaling keeps the
+// field order fixed, which is what makes traces byte-comparable.
+type traceLine struct {
+	Seq  uint64  `json:"seq"`
+	Time float64 `json:"t"`
+	Type string  `json:"type"`
+	Ev   Event   `json:"ev"`
+}
+
+// Recorder serializes every record it observes as one JSON line:
+//
+//	{"seq":1,"t":0,"type":"connection-requested","ev":{"portable":"p0"}}
+//
+// Encoding is deterministic: the envelope and all event payloads are
+// structs, so json.Marshal emits fields in declaration order, and float
+// formatting uses Go's shortest-representation rule.
+type Recorder struct {
+	w   io.Writer
+	err error
+}
+
+// AttachRecorder subscribes a new JSONL recorder for every event on the
+// bus and returns it. The first write error is latched and stops further
+// output; check Err after the run.
+func AttachRecorder(bus *Bus, w io.Writer) *Recorder {
+	r := &Recorder{w: w}
+	bus.Subscribe(r.observe)
+	return r
+}
+
+func (r *Recorder) observe(rec Record) {
+	if r.err != nil {
+		return
+	}
+	line, err := json.Marshal(traceLine{Seq: rec.Seq, Time: rec.Time, Type: rec.Event.Kind().String(), Ev: rec.Event})
+	if err == nil {
+		line = append(line, '\n')
+		_, err = r.w.Write(line)
+	}
+	r.err = err
+}
+
+// Err reports the first error encountered while writing the trace.
+func (r *Recorder) Err() error { return r.err }

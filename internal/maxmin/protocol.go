@@ -6,6 +6,7 @@ import (
 	"sort"
 
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 )
 
 // ProtocolOptions tunes the event-driven ADVERTISE/UPDATE protocol.
@@ -119,6 +120,10 @@ type Protocol struct {
 	Opts ProtocolOptions
 	// OnUpdate, when non-nil, observes every committed rate change.
 	OnUpdate func(conn string, rate float64)
+	// Bus, when non-nil, receives an AdaptationRound event per ADVERTISE
+	// round trip and a MaxminConverged event whenever the protocol goes
+	// quiescent (no active or pending sessions).
+	Bus *eventbus.Bus
 
 	links map[string]*linkState
 	conns map[string]*protoConn
@@ -328,6 +333,7 @@ func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
 	pc, ok := pr.conns[id]
 	if !ok {
 		pr.finishSession(id)
+		pr.maybeConverged()
 		return
 	}
 	stamp := pc.demand
@@ -361,6 +367,7 @@ func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
 		}
 	}
 	final := stamp
+	pr.Bus.Publish(eventbus.AdaptationRound{Conn: id, Round: round, Stamp: final})
 	pr.Sim.After(travel, func() {
 		if round < pr.Opts.RoundTrips {
 			pr.runRound(id, round+1, final)
@@ -379,6 +386,7 @@ func (pr *Protocol) sendUpdate(id string, rate float64) {
 	pc, ok := pr.conns[id]
 	if !ok {
 		pr.finishSession(id)
+		pr.maybeConverged()
 		return
 	}
 	pr.Messages += len(pc.path)
@@ -423,6 +431,7 @@ func (pr *Protocol) sendUpdate(id string, rate float64) {
 			// cascade rule of §5.3.1.
 			pr.cascade(id)
 		}
+		pr.maybeConverged()
 	})
 }
 
@@ -431,6 +440,16 @@ func (pr *Protocol) finishSession(id string) {
 	if pr.dirty[id] {
 		delete(pr.dirty, id)
 		pr.startSession(id)
+	}
+}
+
+// maybeConverged publishes MaxminConverged when no sessions remain in
+// flight. Called after every point where a session can end (including the
+// post-cascade commit path, so a cascade that restarts sessions
+// suppresses the event).
+func (pr *Protocol) maybeConverged() {
+	if len(pr.active) == 0 && len(pr.dirty) == 0 && pr.Sessions > 0 {
+		pr.Bus.Publish(eventbus.MaxminConverged{Sessions: pr.Sessions, Messages: pr.Messages})
 	}
 }
 

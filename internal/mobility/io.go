@@ -12,7 +12,7 @@ import (
 // Trace CSV format: header "time,portable,from,to", one move per row,
 // times in seconds with full float precision, empty "from" for initial
 // placements. The format round-trips exactly and is the interchange
-// format between cmd/tracegen and cmd/armsim -trace.
+// format between cmd/tracegen and cmd/armsim -mobility-trace.
 
 // WriteCSV writes the trace in the interchange format.
 func (t *Trace) WriteCSV(w io.Writer) error {

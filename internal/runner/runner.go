@@ -162,14 +162,12 @@ func Map[T any](ctx context.Context, workers, trials int, fn func(ctx context.Co
 // the trial index using a SplitMix64 finalization step. The derived
 // streams are statistically decorrelated even for adjacent indices, and
 // the mapping depends only on (master, trial) — the foundation of the
-// replication guarantee. Trial 0 keeps the master seed itself so that a
-// one-trial sweep reproduces a plain single run. SplitSeed never returns
-// zero (several experiment configs treat a zero seed as "use default").
+// replication guarantee. Trial 0 keeps the master seed itself — zero
+// included — so that a one-trial sweep reproduces a plain single run
+// (every int64, 0 among them, is a valid and distinct seed throughout
+// the experiment configs).
 func SplitSeed(master int64, trial int) int64 {
 	if trial == 0 {
-		if master == 0 {
-			return 1
-		}
 		return master
 	}
 	z := uint64(master) + uint64(trial)*0x9E3779B97F4A7C15
@@ -178,9 +176,6 @@ func SplitSeed(master int64, trial int) int64 {
 	z ^= z >> 27
 	z *= 0x94D049BB133111EB
 	z ^= z >> 31
-	if z == 0 {
-		z = 0x9E3779B97F4A7C15
-	}
 	return int64(z)
 }
 

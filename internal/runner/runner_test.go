@@ -121,17 +121,14 @@ func TestSplitSeedProperties(t *testing.T) {
 	if SplitSeed(7, 0) != 7 {
 		t.Fatalf("trial 0 must keep the master seed, got %d", SplitSeed(7, 0))
 	}
-	if SplitSeed(0, 0) == 0 {
-		t.Fatal("SplitSeed returned 0")
+	if SplitSeed(0, 0) != 0 {
+		t.Fatalf("trial 0 must keep a zero master seed too, got %d", SplitSeed(0, 0))
 	}
 	// Distinct trials must get distinct seeds (collision here would break
 	// replication sweeps); also distinct masters must diverge.
 	seen := map[int64]int{}
 	for trial := 0; trial < 10000; trial++ {
 		s := SplitSeed(99, trial)
-		if s == 0 {
-			t.Fatalf("zero seed at trial %d", trial)
-		}
 		if prev, dup := seen[s]; dup {
 			t.Fatalf("seed collision: trials %d and %d -> %d", prev, trial, s)
 		}

@@ -16,6 +16,7 @@ import (
 
 	"armnet/internal/admission"
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/topology"
 )
 
@@ -38,6 +39,9 @@ type Options struct {
 	HopProcessing float64
 	// Timeout aborts sessions that have not completed (default 2 s).
 	Timeout float64
+	// Bus, when non-nil, receives SignalHold / SignalCommit / SignalAbort
+	// events as sessions place tentative holds and resolve.
+	Bus *eventbus.Bus
 }
 
 func (o Options) withDefaults() Options {
@@ -99,7 +103,7 @@ func (p *Plane) Setup(t admission.Test, done func(Result)) {
 		if s.finished {
 			return
 		}
-		s.rollback(len(s.held))
+		s.rollback(len(s.held), "timeout")
 		s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
 	})
 	s.deadline = deadline
@@ -152,19 +156,20 @@ func (s *session) forward(i int) {
 		}
 		ls := s.plane.Ctl.Ledger.Link(link.ID)
 		if ls == nil {
-			s.rollback(i)
+			s.rollback(i, "unknown-link")
 			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
 			return
 		}
 		need := s.test.Req.Bandwidth.Min
 		avail := ls.Capacity - ls.AdvanceReserved - ls.Pool() - ls.SumMin() - s.plane.pending[link.ID]
 		if need > avail {
-			s.rollback(i)
+			s.rollback(i, "hop-rejected")
 			s.finish(Result{Err: fmt.Errorf("%w %d (%s)", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
 			return
 		}
 		s.plane.pending[link.ID] += need
 		s.held = append(s.held, link.ID)
+		s.plane.opts.Bus.Publish(eventbus.SignalHold{Conn: s.test.ConnID, Link: string(link.ID)})
 		s.forward(i + 1)
 	})
 }
@@ -183,6 +188,10 @@ func (s *session) atDestination() {
 	}
 	if !res.Admitted {
 		s.plane.Rollbacks++
+		s.plane.opts.Bus.Publish(eventbus.SignalAbort{
+			Conn: s.test.ConnID, Reason: "end-to-end:" + res.Reason,
+			Hop: len(s.test.Route.Links),
+		})
 		s.finish(Result{
 			Admission: res,
 			Err:       fmt.Errorf("%w: %s at %s", ErrEndToEnd, res.Reason, res.FailedLink),
@@ -198,7 +207,9 @@ func (s *session) atDestination() {
 	}
 	s.plane.Sim.After(total, func() {
 		s.plane.Commits++
-		s.finish(Result{Admission: res, Latency: s.plane.Sim.Now() - s.start})
+		latency := s.plane.Sim.Now() - s.start
+		s.plane.opts.Bus.Publish(eventbus.SignalCommit{Conn: s.test.ConnID, Latency: latency})
+		s.finish(Result{Admission: res, Latency: latency})
 	})
 }
 
@@ -217,8 +228,8 @@ func (s *session) releaseHolds() {
 // travel back toward the source (latency is charged to the session's
 // reported Latency implicitly, since holds release immediately in state
 // but the session has already failed).
-func (s *session) rollback(i int) {
-	_ = i
+func (s *session) rollback(i int, reason string) {
 	s.plane.Rollbacks++
+	s.plane.opts.Bus.Publish(eventbus.SignalAbort{Conn: s.test.ConnID, Reason: reason, Hop: i})
 	s.releaseHolds()
 }

@@ -16,6 +16,8 @@ import (
 // [b_min, b_max] let the adaptation protocol keep every connection inside
 // the current capacity.
 type BoundsConfig struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// Users all sit (static) in one cell.
 	Users int
@@ -31,9 +33,6 @@ type BoundsConfig struct {
 }
 
 func (c BoundsConfig) withDefaults() BoundsConfig {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Users <= 0 {
 		c.Users = 4
 	}

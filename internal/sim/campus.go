@@ -1,17 +1,21 @@
 package sim
 
 import (
+	"bytes"
 	"context"
 	"fmt"
+	"io"
 
 	"armnet/internal/core"
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/mobility"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/randx"
 	"armnet/internal/runner"
+	"armnet/internal/stats"
 	"armnet/internal/topology"
 )
 
@@ -19,6 +23,9 @@ import (
 // portables carrying QoS-bounded connections through the full resource
 // manager under a chosen reservation mode.
 type CampusConfig struct {
+	// Seed drives the run's randomness. Every value is a valid, distinct
+	// seed — including 0, the zero-value default (seeds 0 and 1 used to
+	// alias; they no longer do).
 	Seed int64
 	// Portables is the population size (default 24).
 	Portables int
@@ -36,9 +43,6 @@ type CampusConfig struct {
 }
 
 func (c CampusConfig) withDefaults() CampusConfig {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Portables <= 0 {
 		c.Portables = 24
 	}
@@ -77,8 +81,94 @@ type CampusResult struct {
 	Handoffs int64
 }
 
+// campusCollector derives the harness's summary statistics directly from
+// the event stream, instead of scraping manager counters after the run.
+// It subscribes for exactly the kinds it folds.
+type campusCollector struct {
+	requested, blocked int64
+	attempted, dropped int64
+	advance, pool      int64
+	predLat, unpredLat stats.Welford
+}
+
+func newCampusCollector(bus *eventbus.Bus) *campusCollector {
+	c := &campusCollector{}
+	bus.Subscribe(c.observe,
+		eventbus.KindConnectionRequested,
+		eventbus.KindConnectionBlocked,
+		eventbus.KindHandoffAttempt,
+		eventbus.KindHandoffOutcome,
+		eventbus.KindHandoffLatency,
+		eventbus.KindAdvanceReservation,
+		eventbus.KindPoolClaim,
+	)
+	return c
+}
+
+func (c *campusCollector) observe(r eventbus.Record) {
+	switch ev := r.Event.(type) {
+	case eventbus.ConnectionRequested:
+		c.requested++
+	case eventbus.ConnectionBlocked:
+		c.blocked++
+	case eventbus.HandoffAttempt:
+		c.attempted++
+	case eventbus.HandoffOutcome:
+		if ev.Dropped {
+			c.dropped++
+		}
+	case eventbus.HandoffLatency:
+		if ev.Predicted {
+			c.predLat.Observe(ev.Latency)
+		} else {
+			c.unpredLat.Observe(ev.Latency)
+		}
+	case eventbus.AdvanceReservation:
+		c.advance++
+	case eventbus.PoolClaim:
+		c.pool++
+	}
+}
+
+func ratio(num, den int64) float64 {
+	if den == 0 {
+		return 0
+	}
+	return float64(num) / float64(den)
+}
+
+func (c *campusCollector) result(mode core.ReservationMode) CampusResult {
+	res := CampusResult{
+		Mode:                mode,
+		DropRate:            ratio(c.dropped, c.attempted),
+		BlockRate:           ratio(c.blocked, c.requested),
+		AdvanceReservations: c.advance,
+		PoolClaims:          c.pool,
+		Handoffs:            c.attempted,
+	}
+	res.PredictedLatency = c.predLat.Mean()
+	res.UnpredictedLatency = c.unpredLat.Mean()
+	if n := c.predLat.N() + c.unpredLat.N(); n > 0 {
+		res.PredictedShare = float64(c.predLat.N()) / float64(n)
+	}
+	return res
+}
+
 // RunCampus executes the integrated scenario and returns its metrics.
 func RunCampus(cfg CampusConfig) (CampusResult, error) {
+	return runCampus(cfg, nil)
+}
+
+// RunCampusTrace is RunCampus with a JSONL event trace of the full run:
+// every control-plane event, one line each, stamped with (time, seq).
+// The trace is byte-identical for a given config at any worker count.
+func RunCampusTrace(cfg CampusConfig) (CampusResult, []byte, error) {
+	var buf bytes.Buffer
+	res, err := runCampus(cfg, &buf)
+	return res, buf.Bytes(), err
+}
+
+func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, error) {
 	cfg = cfg.withDefaults()
 	env, err := topology.BuildCampus()
 	if err != nil {
@@ -88,6 +178,11 @@ func RunCampus(cfg CampusConfig) (CampusResult, error) {
 	mgr, err := core.NewManager(simulator, env, core.Config{Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth})
 	if err != nil {
 		return CampusResult{}, err
+	}
+	col := newCampusCollector(mgr.Bus)
+	var rec *eventbus.Recorder
+	if traceW != nil {
+		rec = eventbus.AttachRecorder(mgr.Bus, traceW)
 	}
 	names := make([]string, cfg.Portables)
 	for i := range names {
@@ -114,21 +209,10 @@ func RunCampus(cfg CampusConfig) (CampusResult, error) {
 	if err := simulator.RunUntil(cfg.Duration); err != nil {
 		return CampusResult{}, err
 	}
-	c := mgr.Met.Counter
-	res := CampusResult{
-		Mode:                cfg.Mode,
-		DropRate:            c.Ratio(core.CtrHandoffDropped, core.CtrHandoffTried),
-		BlockRate:           c.Ratio(core.CtrNewBlocked, core.CtrNewRequested),
-		AdvanceReservations: c.Get(core.CtrAdvanceResv),
-		PoolClaims:          c.Get(core.CtrPoolClaims),
-		Handoffs:            c.Get(core.CtrHandoffTried),
+	if rec != nil && rec.Err() != nil {
+		return CampusResult{}, rec.Err()
 	}
-	res.PredictedLatency = mgr.Latency.Predicted.Mean()
-	res.UnpredictedLatency = mgr.Latency.Unpredicted.Mean()
-	if n := mgr.Latency.Predicted.N() + mgr.Latency.Unpredicted.N(); n > 0 {
-		res.PredictedShare = float64(mgr.Latency.Predicted.N()) / float64(n)
-	}
-	return res, nil
+	return col.result(cfg.Mode), nil
 }
 
 // TthPoint is one sample of the T_th sensitivity sweep.
@@ -196,6 +280,8 @@ func RunCampusComparisonParallel(ctx context.Context, cfg CampusConfig, workers 
 // a large random-walking population, exercising the integrated manager
 // well beyond the paper's seven-cell wing.
 type GridConfig struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including the zero-value 0.
 	Seed       int64
 	Rows, Cols int
 	Portables  int
@@ -205,9 +291,6 @@ type GridConfig struct {
 }
 
 func (c GridConfig) withDefaults() GridConfig {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Rows <= 0 {
 		c.Rows = 4
 	}
@@ -272,6 +355,7 @@ func runGridOnce(cfg GridConfig) (GridResult, error) {
 	if err != nil {
 		return GridResult{}, err
 	}
+	col := newCampusCollector(mgr.Bus)
 	names := make([]string, cfg.Portables)
 	for i := range names {
 		names[i] = fmt.Sprintf("p%03d", i)
@@ -297,19 +381,7 @@ func runGridOnce(cfg GridConfig) (GridResult, error) {
 	if err := simulator.RunUntil(cfg.Duration); err != nil {
 		return GridResult{}, err
 	}
-	c := mgr.Met.Counter
-	res := GridResult{Cells: env.Universe.Len(), Events: simulator.Fired()}
-	res.Mode = cfg.Mode
-	res.DropRate = c.Ratio(core.CtrHandoffDropped, core.CtrHandoffTried)
-	res.BlockRate = c.Ratio(core.CtrNewBlocked, core.CtrNewRequested)
-	res.AdvanceReservations = c.Get(core.CtrAdvanceResv)
-	res.PoolClaims = c.Get(core.CtrPoolClaims)
-	res.Handoffs = c.Get(core.CtrHandoffTried)
-	res.PredictedLatency = mgr.Latency.Predicted.Mean()
-	res.UnpredictedLatency = mgr.Latency.Unpredicted.Mean()
-	if n := mgr.Latency.Predicted.N() + mgr.Latency.Unpredicted.N(); n > 0 {
-		res.PredictedShare = float64(mgr.Latency.Predicted.N()) / float64(n)
-	}
+	res := GridResult{CampusResult: col.result(cfg.Mode), Cells: env.Universe.Len(), Events: simulator.Fired()}
 	return res, nil
 }
 

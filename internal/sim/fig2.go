@@ -10,6 +10,8 @@ import (
 
 // Figure2Config drives the lounge handoff-activity illustration.
 type Figure2Config struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// Students and WalkBys parameterize the underlying meeting scenario.
 	Students, WalkBys int
@@ -28,9 +30,6 @@ type Figure2Result struct {
 // activity profile of a lounge (meeting room) over time — from the
 // simulated classroom scenario.
 func RunFigure2(cfg Figure2Config) (Figure2Result, error) {
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
 	if cfg.Students <= 0 {
 		cfg.Students = 40
 	}

@@ -18,6 +18,8 @@ import (
 
 // Figure4Config drives the §7.1 office-prediction experiment.
 type Figure4Config struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// TrainFraction of the trace trains the profiles; the rest is
 	// evaluated (default 0.5).
@@ -66,9 +68,6 @@ type Figure4Result struct {
 // deterministic reservation for office occupants is valid, and brute
 // force advance reservation is extremely wasteful.
 func RunFigure4(cfg Figure4Config) (Figure4Result, error) {
-	if cfg.Seed == 0 {
-		cfg.Seed = 1
-	}
 	if cfg.TrainFraction <= 0 || cfg.TrainFraction >= 1 {
 		cfg.TrainFraction = 0.5
 	}

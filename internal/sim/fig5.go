@@ -42,6 +42,8 @@ func (a Fig5Algorithm) String() string {
 
 // Figure5Config drives one run of the classroom scenario.
 type Figure5Config struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// Students is the class size (35 lecture / 55 laboratory).
 	Students int
@@ -62,9 +64,6 @@ type Figure5Config struct {
 }
 
 func (c Figure5Config) withDefaults() Figure5Config {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Capacity <= 0 {
 		c.Capacity = 1.6e6
 	}

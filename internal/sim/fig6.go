@@ -11,6 +11,8 @@ import (
 // Figure6Config drives the §7.2 two-cell experiment: capacity 40, type 1
 // (b=1, λ=30, 1/μ=0.2, h=0.7) and type 2 (b=4, λ=1, 1/μ=0.25, h=0.7).
 type Figure6Config struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// Capacity is B_c in units (default 40).
 	Capacity int
@@ -35,9 +37,6 @@ type Figure6Config struct {
 }
 
 func (c Figure6Config) withDefaults() Figure6Config {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Capacity <= 0 {
 		c.Capacity = 40
 	}

@@ -13,6 +13,8 @@ import (
 // Theorem1Config drives the convergence study of the event-driven
 // adaptation algorithm.
 type Theorem1Config struct {
+	// Seed drives the run's randomness; every value is valid and
+	// distinct, including 0.
 	Seed int64
 	// Instances is the number of random problem instances (default 20).
 	Instances int
@@ -27,9 +29,6 @@ type Theorem1Config struct {
 }
 
 func (c Theorem1Config) withDefaults() Theorem1Config {
-	if c.Seed == 0 {
-		c.Seed = 1
-	}
 	if c.Instances <= 0 {
 		c.Instances = 20
 	}

@@ -1,0 +1,85 @@
+package sim
+
+import (
+	"bytes"
+	"context"
+	"strings"
+	"testing"
+
+	"armnet/internal/runner"
+)
+
+// TestCampusTraceDeterminismAcrossWorkers is the event-stream replication
+// regression test: the full JSONL trace of each reservation mode must be
+// byte-identical whether the modes run serially or fanned across a worker
+// pool. Any divergence means an event was published from a scheduling- or
+// map-order-dependent code path.
+func TestCampusTraceDeterminismAcrossWorkers(t *testing.T) {
+	serial := make([][]byte, len(campusModes))
+	for i, mode := range campusModes {
+		c := detCampusCfg
+		c.Mode = mode
+		_, trace, err := RunCampusTrace(c)
+		if err != nil {
+			t.Fatalf("mode %v: %v", mode, err)
+		}
+		if len(trace) == 0 {
+			t.Fatalf("mode %v: empty trace", mode)
+		}
+		if !strings.HasPrefix(string(trace), `{"seq":1,`) {
+			t.Fatalf("mode %v: trace does not start at seq 1: %.80s", mode, trace)
+		}
+		serial[i] = trace
+	}
+	for _, workers := range []int{1, 2, 8} {
+		got, st, err := runner.Map(context.Background(), workers, len(campusModes),
+			func(_ context.Context, i int) ([]byte, error) {
+				c := detCampusCfg
+				c.Mode = campusModes[i]
+				_, trace, err := RunCampusTrace(c)
+				return trace, err
+			})
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if st.Failed != 0 {
+			t.Fatalf("workers=%d: unexpected stats %+v", workers, st)
+		}
+		for i := range campusModes {
+			if !bytes.Equal(got[i], serial[i]) {
+				t.Fatalf("workers=%d mode %v: trace diverged from serial (%d vs %d bytes)",
+					workers, campusModes[i], len(got[i]), len(serial[i]))
+			}
+		}
+	}
+}
+
+// TestCampusTraceConsistentWithResult checks that the trace and the
+// summary come from one stream: replaying the recorded events must
+// reproduce the counters behind the returned CampusResult.
+func TestCampusTraceConsistentWithResult(t *testing.T) {
+	res, trace, err := RunCampusTrace(detCampusCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var requested, blocked, attempted int64
+	for _, line := range bytes.Split(bytes.TrimSpace(trace), []byte("\n")) {
+		switch {
+		case bytes.Contains(line, []byte(`"type":"connection-requested"`)):
+			requested++
+		case bytes.Contains(line, []byte(`"type":"connection-blocked"`)):
+			blocked++
+		case bytes.Contains(line, []byte(`"type":"handoff-attempt"`)):
+			attempted++
+		}
+	}
+	if requested == 0 || attempted == 0 {
+		t.Fatalf("trace missing core events: requested=%d attempted=%d", requested, attempted)
+	}
+	if got := ratio(blocked, requested); got != res.BlockRate {
+		t.Fatalf("BlockRate mismatch: trace %v result %v", got, res.BlockRate)
+	}
+	if res.Handoffs != attempted {
+		t.Fatalf("Handoffs mismatch: trace %d result %d", attempted, res.Handoffs)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"fmt"
 
 	"armnet/internal/des"
+	"armnet/internal/eventbus"
 	"armnet/internal/randx"
 )
 
@@ -97,6 +98,16 @@ type CapacityProcess struct {
 
 	level int
 	rng   *randx.Rand
+	bus   *eventbus.Bus
+	link  string
+}
+
+// PublishTo routes every capacity change through the given event bus as a
+// CapacityChange tagged with the link name. Call before Attach; a nil bus
+// disables publishing.
+func (c *CapacityProcess) PublishTo(bus *eventbus.Bus, link string) {
+	c.bus = bus
+	c.link = link
 }
 
 // NewCapacityProcess validates and returns a capacity process at level 0.
@@ -133,6 +144,7 @@ func (c *CapacityProcess) Attach(sim *des.Simulator, onChange func(capacity floa
 			next := c.draw()
 			if next != c.level {
 				c.level = next
+				c.bus.Publish(eventbus.CapacityChange{Link: c.link, Capacity: c.Capacity()})
 				if onChange != nil {
 					onChange(c.Capacity())
 				}
