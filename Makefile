@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism
+.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
-## detector, the fuzz seed corpora in short mode, and the event-trace
-## replication check.
-ci: vet build race fuzz-short trace-determinism
+## detector, the fuzz seed corpora in short mode, the event-trace
+## replication check, and the chaos recovery gate.
+ci: vet build race fuzz-short trace-determinism chaos
 
 vet:
 	$(GO) vet ./...
@@ -22,7 +22,7 @@ race:
 ## fuzz-short: run every Fuzz* target's checked-in seed corpus only
 ## (no mutation) — fast, deterministic, suitable for CI.
 fuzz-short:
-	$(GO) test -run '^Fuzz' ./internal/maxmin
+	$(GO) test -run '^Fuzz' ./internal/maxmin ./internal/faults
 
 ## fuzz: actually mutate for a bounded time (override FUZZTIME).
 FUZZTIME ?= 30s
@@ -38,7 +38,15 @@ bench:
 trace-determinism:
 	$(GO) test -run 'TraceDeterminism' ./internal/sim
 
+## chaos: the fault-injection recovery gate — chaos scenarios run under
+## the race detector, recovery invariants are audited, and the pinned
+## seed-1 fault trace must not drift.
+chaos:
+	$(GO) test -race -run 'Chaos' ./internal/sim
+	$(GO) test -race ./internal/faults
+
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.
 golden:
 	$(GO) test ./cmd/paperfigs -update
+	$(GO) test ./internal/sim -run TestChaosTraceGolden -update-chaos

@@ -45,10 +45,12 @@ import (
 	"armnet/internal/dataplane"
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
+	"armnet/internal/faults"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/reserve"
 	"armnet/internal/sched"
+	"armnet/internal/signal"
 	"armnet/internal/topology"
 	"armnet/internal/wireless"
 )
@@ -156,7 +158,40 @@ const (
 	CtrAdaptUpdates   = core.CtrAdaptUpdates
 	CtrAdvanceResv    = core.CtrAdvanceResv
 	CtrPoolClaims     = core.CtrPoolClaims
+	CtrFaultsInjected = core.CtrFaultsInjected
+	CtrRetransmits    = core.CtrRetransmits
+	CtrReclaimedHolds = core.CtrReclaimedHolds
+	CtrReadvertises   = core.CtrReadvertises
 )
+
+// FaultPlan is a deterministic fault-injection schedule for Config.Faults:
+// probabilistic control-message faults (drop/dup/delay) composed with
+// timed component faults (link and cell outages, zone profile-server
+// crashes, wireless blackouts, signaling-plane crashes). A nil plan
+// injects nothing and leaves every run byte-identical to an uninjected
+// one.
+type FaultPlan = faults.Plan
+
+// FaultAuditor checks a chaos run's recovery invariants: ledger
+// conservation, no leaked signaling holds, no orphaned allocations, and
+// maxmin re-convergence.
+type FaultAuditor = faults.Auditor
+
+// SignalOptions configures the signaling plane (Config.Signal): setup
+// deadlines, bounded retransmission, and the crash-recovery hold lease.
+type SignalOptions = signal.Options
+
+// ParseFaultPlan reads the line-oriented fault-plan grammar:
+//
+//	drop  <proto> <prob>          # proto: signal | maxmin | any
+//	dup   <proto> <prob>
+//	delay <proto> <prob> <seconds>
+//	at <time> cell-out <cell> [for <duration>]
+//	at <time> link-down <link> [for <duration>]
+//	at <time> blackout <cell> for <duration>
+//	at <time> crash-zone <zone>
+//	at <time> crash-signaling
+var ParseFaultPlan = faults.ParsePlan
 
 // Topology builders.
 var (

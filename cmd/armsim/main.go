@@ -23,6 +23,16 @@
 // the file is byte-identical at any -parallel value. Use -mobility-trace
 // to replay a recorded CSV movement trace (see cmd/tracegen) instead of
 // generating a random walk.
+//
+// With -fault-plan FILE the run executes a deterministic fault-injection
+// schedule (see internal/faults for the grammar): control messages are
+// dropped, duplicated, or delayed probabilistically, and components —
+// links, cells, zone profile servers, the signaling plane — fail and
+// recover at scheduled times. Connections then open through the
+// signaling plane so setups are exposed to message faults; tune it with
+// -signal-timeout and -signal-retries:
+//
+//	armsim -topology campus -fault-plan chaos.plan -trace - -seed 1
 package main
 
 import (
@@ -52,6 +62,9 @@ func main() {
 	bmax := flag.Float64("bmax", 128e3, "connection b_max (bits/s)")
 	mobilityTrace := flag.String("mobility-trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
 	tracePath := flag.String("trace", "", "write the control-plane event stream as JSON Lines to this file (- for stdout)")
+	faultPlan := flag.String("fault-plan", "", "inject faults from this plan file (drop/dup/delay rules and timed outages); connections then open through the signaling plane")
+	signalTimeout := flag.Float64("signal-timeout", 0, "signaling setup deadline in seconds (0 = scale with route hop count)")
+	signalRetries := flag.Int("signal-retries", 0, "per-hop control-message retransmission budget (0 = default)")
 	replications := flag.Int("replications", 1, "independent scenario replications under derived seeds")
 	parallel := flag.Int("parallel", 1, "worker count for replications (0 = GOMAXPROCS); output is identical at any worker count")
 	flag.Parse()
@@ -61,6 +74,7 @@ func main() {
 		portables: *portables, duration: *duration, dwell: *dwell,
 		modeName: *modeName, bmin: *bmin, bmax: *bmax,
 		mobilityPath: *mobilityTrace, tracePath: *tracePath,
+		faultPath: *faultPlan, sigTimeout: *signalTimeout, sigRetries: *signalRetries,
 	}
 	if err := run(sc, *seed, *replications, *parallel, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "armsim:", err)
@@ -83,6 +97,10 @@ type scenario struct {
 	mobilityPath   string
 	trace          *mobility.Trace // replayed read-only when set
 	tracePath      string          // JSONL event-trace destination ("" = off)
+	faultPath      string
+	faults         *armnet.FaultPlan // parsed once; injectors only read it
+	sigTimeout     float64
+	sigRetries     int
 }
 
 // prepare resolves the mode, loads the optional topology spec and replay
@@ -105,6 +123,17 @@ func (sc *scenario) prepare() error {
 		}
 		sc.topoJSON = data
 		sc.topo = sc.topoFile
+	}
+	if sc.faultPath != "" {
+		f, err := os.Open(sc.faultPath)
+		if err != nil {
+			return err
+		}
+		sc.faults, err = armnet.ParseFaultPlan(f)
+		f.Close()
+		if err != nil {
+			return err
+		}
 	}
 	if sc.mobilityPath != "" {
 		f, err := os.Open(sc.mobilityPath)
@@ -157,7 +186,10 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 	if err != nil {
 		return replication{}, err
 	}
-	net, err := armnet.NewNetwork(env, armnet.Config{Seed: seed, Mode: sc.mode})
+	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults}
+	cfg.Signal.Timeout = sc.sigTimeout
+	cfg.Signal.MaxRetries = sc.sigRetries
+	net, err := armnet.NewNetwork(env, cfg)
 	if err != nil {
 		return replication{}, err
 	}
@@ -183,12 +215,22 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 		Delay:     5, Jitter: 5, Loss: 0.05,
 		Traffic: armnet.TrafficSpec{Sigma: sc.bmin / 4, Rho: sc.bmin},
 	}
+	// Under a fault plan, connections open through the signaling plane so
+	// setup messages are exposed to the plan's drop/dup/delay rules; the
+	// instantaneous path stays the default because it keeps uninjected
+	// traces byte-identical to earlier releases.
+	open := func(portable string) { _, _ = net.OpenConnection(portable, req) }
+	if !sc.faults.Empty() {
+		open = func(portable string) {
+			_ = net.OpenConnectionAsync(portable, req, func(string, error) {})
+		}
+	}
 	for _, mv := range trace.Moves {
 		mv := mv
 		net.Schedule(mv.Time, func() {
 			if mv.From == "" {
 				if err := net.PlacePortable(mv.Portable, mv.To); err == nil {
-					_, _ = net.OpenConnection(mv.Portable, req)
+					open(mv.Portable)
 				}
 				return
 			}

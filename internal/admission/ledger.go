@@ -47,6 +47,10 @@ type LinkState struct {
 	// new-connection admission to absorb unforeseen events such as
 	// sudden movement of static portables.
 	PoolFraction float64
+	// Down marks a failed link (fault injection): while set the link
+	// admits nothing and advertises no excess. Capacity is kept so
+	// restoration returns the link to its pre-failure state.
+	Down bool
 
 	allocs map[string]*Alloc
 }
@@ -106,8 +110,12 @@ func (ls *LinkState) SumBuffer() float64 {
 }
 
 // ExcessAvailable is the paper's b'_av,l := C_l - b_resv,l - Σ b_min,i —
-// the bandwidth beyond every connection's guaranteed minimum.
+// the bandwidth beyond every connection's guaranteed minimum. A failed
+// link offers none.
 func (ls *LinkState) ExcessAvailable() float64 {
+	if ls.Down {
+		return 0
+	}
 	return ls.Capacity - ls.AdvanceReserved - ls.SumMin()
 }
 
@@ -119,6 +127,9 @@ func (ls *LinkState) Pool() float64 { return ls.PoolFraction * ls.Capacity }
 // the pool; handoff connections may consume the advance reservation; pool
 // claimants (sudden movers) may also dip into B_dyn.
 func (ls *LinkState) availableFor(kind Kind) float64 {
+	if ls.Down {
+		return 0
+	}
 	switch kind {
 	case KindHandoff:
 		return ls.Capacity - ls.SumMin()

@@ -19,6 +19,7 @@ import (
 	"armnet/internal/admission"
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
+	"armnet/internal/faults"
 	"armnet/internal/maxmin"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
@@ -28,6 +29,7 @@ import (
 	"armnet/internal/sched"
 	"armnet/internal/signal"
 	"armnet/internal/topology"
+	"armnet/internal/wireless"
 )
 
 // ReservationMode selects the advance-reservation strategy — the knob the
@@ -83,6 +85,17 @@ type Config struct {
 	Proto maxmin.ProtocolOptions
 	// Profiles tunes the profile servers.
 	Profiles profile.ServerOptions
+	// Signal tunes the signaling plane (timeout scaling, retransmission,
+	// hold leases). The manager forces its Bus; under a fault plan it
+	// also forces the delivery hook.
+	Signal signal.Options
+	// Faults, when non-nil and non-empty, arms deterministic fault
+	// injection: the plan's message rules filter signaling and
+	// adaptation control packets, and its timed component faults are
+	// scheduled at construction time (so build the manager at simulated
+	// time zero). A nil or empty plan costs nothing — no RNG draws, no
+	// extra events.
+	Faults *faults.Plan
 }
 
 func (c Config) withDefaults() Config {
@@ -159,6 +172,8 @@ type Manager struct {
 	// Latency tracks handoff signaling latency, split by whether the
 	// handoff was predicted (advance-reserved) or not.
 	Latency LatencyStats
+	// Inj is the armed fault injector; nil without a fault plan.
+	Inj *faults.Injector
 
 	portables map[string]*Portable
 	conns     map[string]*Connection
@@ -172,6 +187,9 @@ type Manager struct {
 	// rateWatchers holds per-connection bandwidth-change callbacks (the
 	// application runtime-support hook of §4 / [14]).
 	rateWatchers map[string]func(bandwidth float64)
+	// channels registers attached wireless capacity processes per cell,
+	// so blackout faults can reach them.
+	channels map[topology.CellID]*wireless.CapacityProcess
 }
 
 type meetingState struct {
@@ -213,8 +231,16 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 		book:         make(map[topology.LinkID]map[string]float64),
 		meetings:     make(map[topology.CellID][]*meetingState),
 		rateWatchers: make(map[string]func(float64)),
+		channels:     make(map[topology.CellID]*wireless.CapacityProcess),
 	}
 	m.Ctl.Bus = bus
+	// Fault injection is wired before the protocol stacks are built so
+	// their delivery hooks are in place from the first control message.
+	if cfg.Faults != nil && !cfg.Faults.Empty() {
+		m.Inj = faults.NewInjector(cfg.Faults, cfg.Seed, bus)
+		m.Cfg.Proto.Deliver = m.Inj.DeliverMaxmin
+		m.Cfg.Signal.Deliver = m.Inj.DeliverSignal
+	}
 	// Built-in subscribers beyond Metrics: the handoff-latency
 	// distributions and the per-connection bandwidth watchers. They are
 	// registered after Metrics so a watcher callback observes counters
@@ -236,7 +262,7 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 	}, eventbus.KindBandwidthChange)
 	if !cfg.DisableAdaptation {
 		var err error
-		m.Adpt, err = adapt.NewManager(sim, lg, cfg.Proto)
+		m.Adpt, err = adapt.NewManager(sim, lg, m.Cfg.Proto)
 		if err != nil {
 			return nil, err
 		}
@@ -257,6 +283,11 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 	}
 	// Periodic lounge-policy evaluation.
 	sim.Every(cfg.SlotDuration, m.evaluatePolicies)
+	// Schedule the plan's timed component faults, executed through the
+	// manager's own Driver implementation (faultdriver.go).
+	if m.Inj != nil {
+		m.Inj.Arm(sim, m)
+	}
 	return m, nil
 }
 

@@ -96,6 +96,7 @@ func (m *Manager) AttachChannel(cell topology.CellID, levels []float64, dwellMea
 		}
 		_ = m.Ctl.Ledger.SetCapacity(link, capacity)
 	})
+	m.channels[cell] = cp
 	return cp, nil
 }
 

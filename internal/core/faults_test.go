@@ -1,0 +1,179 @@
+package core
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"armnet/internal/des"
+	"armnet/internal/eventbus"
+	"armnet/internal/faults"
+	"armnet/internal/signal"
+	"armnet/internal/topology"
+)
+
+func mustPlan(t *testing.T, text string) *faults.Plan {
+	t.Helper()
+	p, err := faults.ParsePlan(strings.NewReader(text))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestCellOutageTerminatesAndRestores(t *testing.T) {
+	sim, m := newCampus(t, Config{
+		Faults: mustPlan(t, "at 5 cell-out off-1\nat 12 cell-restore off-1"),
+	})
+	if err := m.PlacePortable("alice", "off-1"); err != nil {
+		t.Fatal(err)
+	}
+	id, err := m.OpenConnection("alice", req(64e3, 128e3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if m.Connection(id) != nil {
+		t.Fatal("connection survived its cell's outage")
+	}
+	if _, err := m.OpenConnection("alice", req(64e3, 128e3)); err == nil {
+		t.Fatal("admission succeeded into a failed cell")
+	}
+	if err := sim.RunUntil(13); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.OpenConnection("alice", req(64e3, 128e3)); err != nil {
+		t.Fatalf("admission failed after restoration: %v", err)
+	}
+	if got := m.Met.Counter.Get(CtrFaultsInjected); got != 2 {
+		t.Fatalf("faults-injected = %d, want 2 (outage + restore)", got)
+	}
+	// The ledger must satisfy conservation throughout (the auditor
+	// re-checked on both component faults via Watch).
+	aud := &faults.Auditor{Ledger: m.Ledger(), LiveConns: m.ConnIDs}
+	if v := aud.CheckFinal(); len(v) != 0 {
+		t.Fatalf("invariant violations: %v", v)
+	}
+}
+
+func TestSignalingCrashLeaseReclaimsHolds(t *testing.T) {
+	sim, m := newCampus(t, Config{
+		Signal: signal.Options{HopProcessing: 0.1, HoldLease: 0.5},
+		Faults: mustPlan(t, "at 0.25 crash-signaling"),
+	})
+	if err := m.PlacePortable("alice", "off-1"); err != nil {
+		t.Fatal(err)
+	}
+	completed := false
+	if err := m.OpenConnectionAsync("alice", req(64e3, 128e3), func(string, error) {
+		completed = true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(0.3); err != nil {
+		t.Fatal(err)
+	}
+	if completed {
+		t.Fatal("setup completed before the crash despite slow hops")
+	}
+	if m.SignalPlane().PendingTotal() == 0 {
+		t.Fatal("crash left no orphaned holds — the scenario lost its teeth")
+	}
+	if err := sim.RunUntil(3); err != nil {
+		t.Fatal(err)
+	}
+	if completed {
+		t.Fatal("crashed session's callback fired")
+	}
+	if got := m.SignalPlane().PendingTotal(); got != 0 {
+		t.Fatalf("holds not reclaimed by lease: %v bits/s", got)
+	}
+	if m.Met.Counter.Get(CtrReclaimedHolds) == 0 {
+		t.Fatal("reclaimed-holds counter never moved")
+	}
+	aud := &faults.Auditor{
+		Ledger:       m.Ledger(),
+		PendingHolds: m.SignalPlane().PendingTotal,
+		LiveConns:    m.ConnIDs,
+	}
+	if v := aud.CheckFinal(); len(v) != 0 {
+		t.Fatalf("invariant violations after recovery: %v", v)
+	}
+}
+
+// chaosWorkload is a fixed deterministic scenario used for trace
+// comparisons.
+func chaosWorkload(t *testing.T, sim *des.Simulator, m *Manager) {
+	t.Helper()
+	for _, p := range []struct {
+		id   string
+		cell topology.CellID
+	}{{"alice", "off-1"}, {"bob", "cor-w1"}} {
+		if err := m.PlacePortable(p.id, p.cell); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, id := range []string{"alice", "bob"} {
+		id := id
+		if err := m.OpenConnectionAsync(id, req(64e3, 256e3), func(string, error) {}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	sim.At(10, func() { _ = m.HandoffPortable("bob", "cor-w2") })
+	if err := sim.RunUntil(30); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func runTraced(t *testing.T, cfg Config) []byte {
+	t.Helper()
+	env, err := topology.BuildCampus()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	m, err := NewManager(sim, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	eventbus.AttachRecorder(m.Bus, &buf)
+	chaosWorkload(t, sim, m)
+	return buf.Bytes()
+}
+
+// TestEmptyFaultPlanIsZeroCost pins the zero-cost-abstraction contract:
+// a nil plan, an empty plan, and a comments-only plan must produce
+// byte-identical event traces.
+func TestEmptyFaultPlanIsZeroCost(t *testing.T) {
+	base := runTraced(t, Config{Seed: 7})
+	if len(base) == 0 {
+		t.Fatal("workload produced no events")
+	}
+	empty := runTraced(t, Config{Seed: 7, Faults: &faults.Plan{}})
+	if !bytes.Equal(base, empty) {
+		t.Fatal("empty fault plan perturbed the event trace")
+	}
+	comments := runTraced(t, Config{Seed: 7, Faults: mustPlan(t, "# nothing\n")})
+	if !bytes.Equal(base, comments) {
+		t.Fatal("comments-only fault plan perturbed the event trace")
+	}
+}
+
+// TestFaultPlanIsDeterministic pins injection determinism: identical
+// (plan, seed) pairs must produce byte-identical traces, and the plan
+// must actually perturb the run.
+func TestFaultPlanIsDeterministic(t *testing.T) {
+	cfg := Config{Seed: 7, Faults: mustPlan(t, "drop signal 0.3\ndrop maxmin 0.2\nat 15 cell-out off-1")}
+	a := runTraced(t, cfg)
+	b := runTraced(t, cfg)
+	if !bytes.Equal(a, b) {
+		t.Fatal("identical chaos runs diverged")
+	}
+	clean := runTraced(t, Config{Seed: 7})
+	if bytes.Equal(a, clean) {
+		t.Fatal("fault plan had no observable effect")
+	}
+}

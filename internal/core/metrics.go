@@ -24,6 +24,10 @@ const (
 	CtrAdaptUpdates
 	CtrAdvanceResv
 	CtrPoolClaims
+	CtrFaultsInjected
+	CtrRetransmits
+	CtrReclaimedHolds
+	CtrReadvertises
 
 	ctrCount int = iota
 )
@@ -38,6 +42,10 @@ var ctrNames = [ctrCount]string{
 	CtrAdaptUpdates:   "adaptation-updates",
 	CtrAdvanceResv:    "advance-reservations",
 	CtrPoolClaims:     "pool-claims",
+	CtrFaultsInjected: "faults-injected",
+	CtrRetransmits:    "control-retransmits",
+	CtrReclaimedHolds: "reclaimed-holds",
+	CtrReadvertises:   "readvertise-kicks",
 }
 
 // String returns the stable report name (the strings the pre-enum API
@@ -122,6 +130,11 @@ func NewMetrics(bus *eventbus.Bus) *Metrics {
 		eventbus.KindPoolClaim,
 		eventbus.KindAdvanceReservation,
 		eventbus.KindBandwidthChange,
+		eventbus.KindFaultMessage,
+		eventbus.KindFaultComponent,
+		eventbus.KindControlRetransmit,
+		eventbus.KindHoldReclaimed,
+		eventbus.KindReadvertise,
 	)
 	return m
 }
@@ -149,5 +162,15 @@ func (m *Metrics) observe(r eventbus.Record) {
 		m.Counter.Inc(CtrAdvanceResv)
 	case eventbus.BandwidthChange:
 		m.Counter.Inc(CtrAdaptUpdates)
+	case eventbus.FaultMessage:
+		m.Counter.Inc(CtrFaultsInjected)
+	case eventbus.FaultComponent:
+		m.Counter.Inc(CtrFaultsInjected)
+	case eventbus.ControlRetransmit:
+		m.Counter.Inc(CtrRetransmits)
+	case eventbus.HoldReclaimed:
+		m.Counter.Inc(CtrReclaimedHolds)
+	case eventbus.Readvertise:
+		m.Counter.Add(CtrReadvertises, int64(ev.Kicked))
 	}
 }

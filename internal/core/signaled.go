@@ -15,7 +15,9 @@ import (
 // abort milestones are published on the manager's bus.
 func (m *Manager) SignalPlane() *signal.Plane {
 	if m.sigPlane == nil {
-		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, signal.Options{Bus: m.Bus})
+		opts := m.Cfg.Signal
+		opts.Bus = m.Bus
+		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, opts)
 	}
 	return m.sigPlane
 }

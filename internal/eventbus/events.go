@@ -63,6 +63,25 @@ const (
 	// KindFlowStopped marks a data-plane flow stopping, with its final
 	// packet accounting.
 	KindFlowStopped
+	// KindFaultMessage marks a fault-injection rule acting on one control
+	// message (drop, duplicate, or delay).
+	KindFaultMessage
+	// KindFaultComponent marks an injected component fault or its
+	// scheduled restoration (link down/up, cell outage, zone crash,
+	// wireless blackout, signaling-plane crash).
+	KindFaultComponent
+	// KindControlRetransmit marks a control-plane sender retrying a lost
+	// message after a backoff.
+	KindControlRetransmit
+	// KindHoldReclaimed marks a lease expiring on an orphaned tentative
+	// hold or advance reservation, returning the capacity to the ledger.
+	KindHoldReclaimed
+	// KindReadvertise marks the periodic re-ADVERTISE sweep kicking
+	// connections whose committed rate drifted from the maxmin fixpoint.
+	KindReadvertise
+	// KindInvariantViolation marks the fault auditor detecting a broken
+	// recovery invariant.
+	KindInvariantViolation
 
 	kindCount int = iota
 )
@@ -88,6 +107,12 @@ var kindNames = [kindCount]string{
 	KindSignalAbort:         "signal-abort",
 	KindFlowStarted:         "flow-started",
 	KindFlowStopped:         "flow-stopped",
+	KindFaultMessage:        "fault-message",
+	KindFaultComponent:      "fault-component",
+	KindControlRetransmit:   "control-retransmit",
+	KindHoldReclaimed:       "hold-reclaimed",
+	KindReadvertise:         "readvertise",
+	KindInvariantViolation:  "invariant-violation",
 }
 
 // String returns the stable wire name used in JSONL traces.
@@ -258,6 +283,60 @@ type FlowStopped struct {
 	Lost      int    `json:"lost"`
 }
 
+// FaultMessage is published when a fault-injection rule fires on one
+// control message. Proto is "signal" or "maxmin"; Action is "drop",
+// "dup", or "delay" (Delay carries the added latency).
+type FaultMessage struct {
+	Proto  string  `json:"proto"`
+	Action string  `json:"action"`
+	Conn   string  `json:"conn"`
+	Hop    int     `json:"hop"`
+	Delay  float64 `json:"delay,omitempty"`
+}
+
+// FaultComponent is published when a scheduled component fault (or its
+// restoration) fires: "link-down"/"link-up", "cell-out"/"cell-restore",
+// "zone-crash", "blackout"/"blackout-end", "signal-crash".
+type FaultComponent struct {
+	Action string  `json:"action"`
+	Target string  `json:"target,omitempty"`
+	For    float64 `json:"for,omitempty"` // scheduled outage duration
+}
+
+// ControlRetransmit is published when a control-plane sender times out
+// on a lost message and retries. Proto is "signal" or "maxmin"; Attempt
+// is 1-based.
+type ControlRetransmit struct {
+	Proto   string `json:"proto"`
+	Conn    string `json:"conn"`
+	Hop     int    `json:"hop"`
+	Attempt int    `json:"attempt"`
+}
+
+// HoldReclaimed is published when a lease expires on state orphaned by a
+// crash: a signaling plane's tentative hold or a stale advance
+// reservation returns to the ledger.
+type HoldReclaimed struct {
+	Conn   string  `json:"conn,omitempty"`
+	Link   string  `json:"link"`
+	Amount float64 `json:"amount"`
+	Reason string  `json:"reason"`
+}
+
+// Readvertise is published when the periodic re-ADVERTISE sweep restarts
+// adaptation for connections that drifted from the maxmin fixpoint
+// (typically after control-packet loss ate an UPDATE).
+type Readvertise struct {
+	Kicked int `json:"kicked"`
+}
+
+// InvariantViolation is published by the fault auditor when a recovery
+// invariant fails to hold.
+type InvariantViolation struct {
+	Invariant string `json:"invariant"`
+	Detail    string `json:"detail"`
+}
+
 func (ConnectionRequested) Kind() Kind { return KindConnectionRequested }
 func (ConnectionAdmitted) Kind() Kind  { return KindConnectionAdmitted }
 func (ConnectionBlocked) Kind() Kind   { return KindConnectionBlocked }
@@ -278,3 +357,9 @@ func (SignalCommit) Kind() Kind        { return KindSignalCommit }
 func (SignalAbort) Kind() Kind         { return KindSignalAbort }
 func (FlowStarted) Kind() Kind         { return KindFlowStarted }
 func (FlowStopped) Kind() Kind         { return KindFlowStopped }
+func (FaultMessage) Kind() Kind        { return KindFaultMessage }
+func (FaultComponent) Kind() Kind      { return KindFaultComponent }
+func (ControlRetransmit) Kind() Kind   { return KindControlRetransmit }
+func (HoldReclaimed) Kind() Kind       { return KindHoldReclaimed }
+func (Readvertise) Kind() Kind         { return KindReadvertise }
+func (InvariantViolation) Kind() Kind  { return KindInvariantViolation }

@@ -1,0 +1,166 @@
+package faults
+
+import (
+	"fmt"
+
+	"armnet/internal/des"
+	"armnet/internal/eventbus"
+	"armnet/internal/randx"
+)
+
+// Driver executes component faults against the integrated system. The
+// integration layer (core.Manager) implements it; keeping it an
+// interface here lets faults stay ignorant of every protocol package.
+type Driver interface {
+	// FailLink marks a backbone link down, terminating connections
+	// routed over it.
+	FailLink(link string) error
+	// RestoreLink brings a failed link back and re-advertises its
+	// excess capacity.
+	RestoreLink(link string) error
+	// FailCell takes a cell's air interface out of service.
+	FailCell(cell string) error
+	// RestoreCell returns a failed cell to service.
+	RestoreCell(cell string) error
+	// CrashZone crashes a zone's profile server with state loss; the
+	// server warm-restarts empty.
+	CrashZone(zone string) error
+	// Blackout forces a cell's wireless channel to its worst level for
+	// the given duration.
+	Blackout(cell string, duration float64) error
+	// CrashSignaling crashes the signaling plane, abandoning in-flight
+	// setup sessions without releasing their tentative holds.
+	CrashSignaling() error
+}
+
+// seedSalt decorrelates the injector's RNG from the run's other streams
+// (manager, mobility) derived from the same master seed.
+const seedSalt = 0x6661756c7473 // "faults"
+
+// Injector executes a Plan: its Deliver* methods satisfy the delivery
+// hooks of internal/signal and internal/maxmin structurally, and Arm
+// schedules the plan's timed component faults on the simulator. All
+// randomness comes from one seed-derived RNG, and the simulation is
+// single-threaded, so identical (plan, seed) pairs inject identically.
+// An empty plan draws nothing and perturbs nothing.
+type Injector struct {
+	plan *Plan
+	rng  *randx.Rand
+	bus  *eventbus.Bus
+
+	// Drops, Dups, Delays count message-rule firings; Components counts
+	// timed faults executed (restorations included).
+	Drops, Dups, Delays, Components int
+	// Errors collects driver failures (unknown targets, etc.); the
+	// schedule keeps running.
+	Errors []string
+}
+
+// NewInjector builds an injector for the plan. A nil bus is allowed
+// (faults fire silently); a nil or empty plan yields an injector whose
+// hooks never draw.
+func NewInjector(plan *Plan, seed int64, bus *eventbus.Bus) *Injector {
+	return &Injector{plan: plan, rng: randx.New(seed ^ seedSalt), bus: bus}
+}
+
+// DeliverSignal is the signal.Options.Deliver hook: it decides the fate
+// of one setup-protocol control message.
+func (in *Injector) DeliverSignal(conn string, hop int) (drop bool, delay float64) {
+	return in.deliver("signal", conn, hop)
+}
+
+// DeliverMaxmin is the maxmin.ProtocolOptions.Deliver hook: it decides
+// the fate of one ADVERTISE (update=false) or UPDATE (update=true)
+// packet hop.
+func (in *Injector) DeliverMaxmin(conn string, hop int, update bool) (drop bool, delay float64) {
+	return in.deliver("maxmin", conn, hop)
+}
+
+// deliver evaluates the message rules in plan order. A drop rule that
+// fires wins immediately; dup and delay rules compose (dup is counted
+// and published — the protocols' handlers are idempotent, so a duplicate
+// has no state effect; delays accumulate).
+func (in *Injector) deliver(proto, conn string, hop int) (bool, float64) {
+	if in == nil || in.plan == nil {
+		return false, 0
+	}
+	delay := 0.0
+	for _, r := range in.plan.Messages {
+		if r.Proto != "any" && r.Proto != proto {
+			continue
+		}
+		if !in.rng.Bernoulli(r.Prob) {
+			continue
+		}
+		switch r.Action {
+		case "drop":
+			in.Drops++
+			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "drop", Conn: conn, Hop: hop})
+			return true, delay
+		case "dup":
+			in.Dups++
+			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "dup", Conn: conn, Hop: hop})
+		case "delay":
+			in.Delays++
+			delay += r.Delay
+			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "delay", Conn: conn, Hop: hop, Delay: r.Delay})
+		}
+	}
+	return false, delay
+}
+
+// Arm schedules every timed fault of the plan on the simulator. Faults
+// with a duration also schedule their restoration. Call once, before the
+// simulation runs.
+func (in *Injector) Arm(sim *des.Simulator, d Driver) {
+	if in == nil || in.plan == nil || d == nil {
+		return
+	}
+	for _, f := range in.plan.Timed {
+		f := f
+		sim.At(f.At, func() { in.apply(f, d) })
+		if f.For > 0 && f.Action != "blackout" {
+			restore := TimedFault{At: f.At + f.For, Action: restoreAction(f.Action), Target: f.Target}
+			sim.At(restore.At, func() { in.apply(restore, d) })
+		}
+	}
+}
+
+func restoreAction(action string) string {
+	switch action {
+	case "link-down":
+		return "link-up"
+	case "cell-out":
+		return "cell-restore"
+	default:
+		return action
+	}
+}
+
+// apply publishes the fault event and executes it through the driver.
+func (in *Injector) apply(f TimedFault, d Driver) {
+	in.Components++
+	in.bus.Publish(eventbus.FaultComponent{Action: f.Action, Target: f.Target, For: f.For})
+	var err error
+	switch f.Action {
+	case "link-down":
+		err = d.FailLink(f.Target)
+	case "link-up":
+		err = d.RestoreLink(f.Target)
+	case "cell-out":
+		err = d.FailCell(f.Target)
+	case "cell-restore":
+		err = d.RestoreCell(f.Target)
+	case "crash-zone":
+		err = d.CrashZone(f.Target)
+	case "blackout":
+		err = d.Blackout(f.Target, f.For)
+	case "crash-signaling":
+		err = d.CrashSignaling()
+	default:
+		err = fmt.Errorf("faults: unknown action %q", f.Action)
+	}
+	if err != nil {
+		in.Errors = append(in.Errors, fmt.Sprintf("t=%g %s %s: %v", f.At, f.Action, f.Target, err))
+	}
+}

@@ -9,6 +9,13 @@ import (
 	"armnet/internal/eventbus"
 )
 
+// Deliver decides the fate of one control-packet hop: conn is the
+// connection whose session the packet belongs to, hop is the 0-based
+// transmission index within the sweep, and update distinguishes UPDATE
+// commits from ADVERTISE rounds. A nil hook delivers everything
+// untouched and costs nothing.
+type Deliver func(conn string, hop int, update bool) (drop bool, delay float64)
+
 // ProtocolOptions tunes the event-driven ADVERTISE/UPDATE protocol.
 type ProtocolOptions struct {
 	// Refined enables the paper's M(l) refinement: on new bandwidth a
@@ -26,6 +33,22 @@ type ProtocolOptions struct {
 	// Delta is the paper's δ: capacity increases smaller than Delta do
 	// not trigger adaptation (eqn. 2), bounding steady-state drift.
 	Delta float64
+	// Deliver, when non-nil, filters every control-packet hop (fault
+	// injection).
+	Deliver Deliver
+	// MaxRetries bounds retransmissions of a lost ADVERTISE sweep or
+	// UPDATE (default 3; negative disables retransmission). An exhausted
+	// budget abandons the session — the re-ADVERTISE loop repairs the
+	// resulting partial state.
+	MaxRetries int
+	// RetryBase is the first retransmission backoff; it doubles per
+	// attempt (default 20 × HopDelay).
+	RetryBase float64
+	// ReadvertisePeriod, when positive, arms a periodic repair loop that
+	// kicks connections whose committed rate drifted from their current
+	// fair offer — the recovery path for sessions lost to control-plane
+	// faults. Zero (the default) disables it.
+	ReadvertisePeriod float64
 }
 
 func (o ProtocolOptions) withDefaults() ProtocolOptions {
@@ -37,6 +60,12 @@ func (o ProtocolOptions) withDefaults() ProtocolOptions {
 	}
 	if o.Delta < 0 {
 		o.Delta = 0
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 20 * o.HopDelay
 	}
 	return o
 }
@@ -132,6 +161,10 @@ type Protocol struct {
 	Messages int
 	// Sessions counts adaptation sessions started.
 	Sessions int
+	// Retransmits counts sweeps resent after a control-packet loss;
+	// Readvertises counts connections kicked by the periodic repair
+	// loop.
+	Retransmits, Readvertises int
 
 	active map[string]bool // per-connection session in flight
 	dirty  map[string]bool // session requested while one was active
@@ -144,9 +177,10 @@ type protoConn struct {
 	rate   float64
 }
 
-// NewProtocol builds a protocol instance over the simulator.
+// NewProtocol builds a protocol instance over the simulator. A positive
+// ReadvertisePeriod arms the periodic repair ticker immediately.
 func NewProtocol(sim *des.Simulator, opts ProtocolOptions) *Protocol {
-	return &Protocol{
+	pr := &Protocol{
 		Sim:    sim,
 		Opts:   opts.withDefaults(),
 		links:  make(map[string]*linkState),
@@ -154,6 +188,70 @@ func NewProtocol(sim *des.Simulator, opts ProtocolOptions) *Protocol {
 		active: make(map[string]bool),
 		dirty:  make(map[string]bool),
 	}
+	if pr.Opts.ReadvertisePeriod > 0 {
+		sim.Every(pr.Opts.ReadvertisePeriod, pr.readvertise)
+	}
+	return pr
+}
+
+// readvertise kicks every quiescent connection whose committed rate
+// deviates from its current fair offer min(demand, min_l μ_l(conn)) by
+// more than δ. At the true maxmin fixpoint no connection deviates, so a
+// converged protocol schedules nothing.
+func (pr *Protocol) readvertise() {
+	tol := pr.Opts.Delta
+	if tol <= 0 {
+		tol = 1e-9
+	}
+	ids := make([]string, 0, len(pr.conns))
+	for id := range pr.conns {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	kicked := 0
+	for _, id := range ids {
+		if pr.active[id] {
+			continue
+		}
+		pc := pr.conns[id]
+		offer := pc.demand
+		for _, l := range pc.path {
+			if mu := pr.links[l].advertisedFor(id); mu < offer {
+				offer = mu
+			}
+		}
+		drift := math.Abs(offer-pc.rate) > tol
+		// A lost sweep can also strand a *stale* recorded rate on an
+		// upstream link — a state that looks locally fair (the offer
+		// matches the committed rate) yet blocks neighbors from their
+		// maxmin share. Recorded-vs-committed disagreement exposes it.
+		for _, l := range pc.path {
+			if drift {
+				break
+			}
+			drift = math.Abs(pr.links[l].recorded[id]-pc.rate) > tol
+		}
+		if drift && pr.startSession(id) {
+			kicked++
+		}
+	}
+	if kicked > 0 {
+		pr.Readvertises += kicked
+		pr.Bus.Publish(eventbus.Readvertise{Kicked: kicked})
+	}
+}
+
+// retryControl schedules a retransmission of a lost control sweep with
+// exponential backoff; it reports false when the budget is exhausted.
+func (pr *Protocol) retryControl(id string, hop, attempt int, resend func(attempt int)) bool {
+	if attempt >= pr.Opts.MaxRetries {
+		return false
+	}
+	pr.Retransmits++
+	pr.Bus.Publish(eventbus.ControlRetransmit{Proto: "maxmin", Conn: id, Hop: hop, Attempt: attempt + 1})
+	backoff := pr.Opts.RetryBase * float64(int(1)<<attempt)
+	pr.Sim.After(backoff, func() { resend(attempt + 1) })
+	return true
 }
 
 // AddLink registers a link with its excess capacity.
@@ -330,6 +428,14 @@ func (pr *Protocol) startSession(id string) bool {
 // carries the previous round's result so the UPDATE can take the minimum
 // of the two latest stamped rates as the paper prescribes.
 func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
+	pr.runRoundAttempt(id, round, prevStamp, 0)
+}
+
+// runRoundAttempt is runRound with a retransmission count: a sweep lost
+// to the delivery hook leaves the hops it did reach updated (partial
+// state, exactly like a real lost packet) and is resent after backoff;
+// an exhausted budget abandons the session.
+func (pr *Protocol) runRoundAttempt(id string, round int, prevStamp float64, attempt int) {
 	pc, ok := pr.conns[id]
 	if !ok {
 		pr.finishSession(id)
@@ -337,10 +443,8 @@ func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
 		return
 	}
 	stamp := pc.demand
-	hops := len(pc.path)
-	// Outbound + return: 2×hops control-packet transmissions.
-	pr.Messages += 2 * hops
-	travel := pr.Opts.HopDelay * float64(2*hops)
+	travel := 0.0
+	hop := 0
 	// Clamp at every hop in both directions; because clamping is
 	// idempotent per link we evaluate each link twice like the real
 	// packet would, letting later links see earlier updates.
@@ -350,6 +454,20 @@ func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
 			order = reversed(pc.path)
 		}
 		for _, lname := range order {
+			pr.Messages++
+			travel += pr.Opts.HopDelay
+			if d := pr.Opts.Deliver; d != nil {
+				drop, extra := d(id, hop, false)
+				if drop {
+					if !pr.retryControl(id, hop, attempt, func(a int) { pr.runRoundAttempt(id, round, prevStamp, a) }) {
+						pr.finishSession(id)
+						pr.maybeConverged()
+					}
+					return
+				}
+				travel += extra
+			}
+			hop++
 			ls := pr.links[lname]
 			in := stamp
 			mu := ls.advertisedFor(id)
@@ -383,14 +501,22 @@ func (pr *Protocol) runRound(id string, round int, prevStamp float64) {
 
 // sendUpdate commits the rate along the path and finishes the session.
 func (pr *Protocol) sendUpdate(id string, rate float64) {
+	pr.sendUpdateAttempt(id, rate, 0)
+}
+
+// sendUpdateAttempt is sendUpdate with a retransmission count. An UPDATE
+// lost mid-path leaves the hops it reached committed (partial state) and
+// is resent after backoff — recommitting is idempotent; an exhausted
+// budget abandons the session with the source never learning the rate,
+// which the re-ADVERTISE loop later repairs.
+func (pr *Protocol) sendUpdateAttempt(id string, rate float64, attempt int) {
 	pc, ok := pr.conns[id]
 	if !ok {
 		pr.finishSession(id)
 		pr.maybeConverged()
 		return
 	}
-	pr.Messages += len(pc.path)
-	travel := pr.Opts.HopDelay * float64(len(pc.path))
+	travel := 0.0
 	// The UPDATE commits the recorded rate at every hop and refreshes
 	// M(l) membership: on the way out it collects each link's fresh
 	// offer μ_l = advertisedFor(conn); on the way back it marks exactly
@@ -403,6 +529,19 @@ func (pr *Protocol) sendUpdate(id string, rate float64) {
 	mus := make([]float64, len(pc.path))
 	minMu := math.Inf(1)
 	for i, lname := range pc.path {
+		pr.Messages++
+		travel += pr.Opts.HopDelay
+		if d := pr.Opts.Deliver; d != nil {
+			drop, extra := d(id, i, true)
+			if drop {
+				if !pr.retryControl(id, i, attempt, func(a int) { pr.sendUpdateAttempt(id, rate, a) }) {
+					pr.finishSession(id)
+					pr.maybeConverged()
+				}
+				return
+			}
+			travel += extra
+		}
 		ls := pr.links[lname]
 		ls.recorded[id] = rate
 		mus[i] = ls.advertisedFor(id)

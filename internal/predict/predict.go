@@ -67,15 +67,29 @@ type Predictor struct {
 	Universe *topology.Universe
 	// Servers maps zone name to its profile server.
 	Servers map[string]*profile.Server
+
+	opts profile.ServerOptions
 }
 
 // New creates a predictor and one profile server per zone of the universe.
 func New(u *topology.Universe, opts profile.ServerOptions) *Predictor {
-	p := &Predictor{Universe: u, Servers: make(map[string]*profile.Server)}
+	p := &Predictor{Universe: u, Servers: make(map[string]*profile.Server), opts: opts}
 	for _, zone := range u.Zones() {
 		p.Servers[zone] = profile.NewServer(zone, u.Zone(zone), opts)
 	}
 	return p
+}
+
+// CrashZone models a zone profile server failing and warm-restarting with
+// total state loss: every learned portable and cell profile of the zone
+// is gone, so prediction degrades to the default level until histories
+// rebuild. Unknown zones report an error.
+func (p *Predictor) CrashZone(zone string) error {
+	if _, ok := p.Servers[zone]; !ok {
+		return fmt.Errorf("predict: unknown zone %q", zone)
+	}
+	p.Servers[zone] = profile.NewServer(zone, p.Universe.Zone(zone), p.opts)
+	return nil
 }
 
 // ServerFor returns the profile server responsible for a cell, or nil.

@@ -208,3 +208,30 @@ func TestQuickSplitConservesTotal(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+func TestCrashZoneForgetsLearnedProfiles(t *testing.T) {
+	_, p := figure4(t)
+	for i := 0; i < 10; i++ {
+		p.RecordHandoff(profile.Handoff{Portable: "prof", Prev: "C", From: "D", To: "A", Time: float64(i)})
+	}
+	if d := p.NextCell("prof", "C", "D"); d.Level != LevelPortable {
+		t.Fatalf("pre-crash decision = %+v, want portable-profile level", d)
+	}
+	zone := p.Universe.Zones()[0]
+	if err := p.CrashZone(zone); err != nil {
+		t.Fatal(err)
+	}
+	if d := p.NextCell("prof", "C", "D"); d.Level == LevelPortable {
+		t.Fatal("portable profile survived the zone crash")
+	}
+	if err := p.CrashZone("no-such-zone"); err == nil {
+		t.Fatal("CrashZone accepted an unknown zone")
+	}
+	// Histories rebuild after the warm restart.
+	for i := 0; i < 10; i++ {
+		p.RecordHandoff(profile.Handoff{Portable: "prof", Prev: "C", From: "D", To: "A", Time: float64(20 + i)})
+	}
+	if d := p.NextCell("prof", "C", "D"); d.Level != LevelPortable {
+		t.Fatalf("post-rebuild decision = %+v, want portable-profile level", d)
+	}
+}

@@ -6,6 +6,12 @@
 // realistically: two requests for the last slice of a link cannot both
 // win, and abandoned sessions time out and clean up.
 //
+// The plane is hardened against a lossy control plane: an optional
+// delivery hook (wired to the fault injector) may drop or delay any hop,
+// lost messages are retransmitted with exponential backoff up to a retry
+// budget, and a crash of the plane orphans the in-flight tentative holds
+// — which the lease reaper reclaims when HoldLease is configured.
+//
 // The atomic admission logic itself stays in internal/admission; this
 // package adds the latency, concurrency and failure semantics around it.
 package signal
@@ -30,17 +36,48 @@ var (
 	ErrEndToEnd = errors.New("signal: end-to-end test failed")
 	// ErrTimeout is returned when the session exceeded its deadline.
 	ErrTimeout = errors.New("signal: setup timed out")
+	// ErrLost is returned when a control message stayed lost after the
+	// full retransmission budget.
+	ErrLost = errors.New("signal: control message lost")
+	// ErrLinkDown is returned when the forward pass reaches a failed
+	// link.
+	ErrLinkDown = errors.New("signal: link down")
 )
+
+// Deliver decides the fate of one setup control message about to cross
+// hop (0-based; forward hops are 0..n-1, the commit confirmation's
+// reverse hops are n..2n-1). It may drop the message or add latency.
+// A nil hook delivers everything untouched and costs nothing.
+type Deliver func(conn string, hop int) (drop bool, delay float64)
 
 // Options tunes the signaling plane.
 type Options struct {
 	// HopProcessing is the per-switch control processing time (default
 	// 200 µs).
 	HopProcessing float64
-	// Timeout aborts sessions that have not completed (default 2 s).
+	// Timeout aborts sessions that have not completed. Zero scales the
+	// deadline with the route: PerHopTimeout × hops, floored at 2 s (the
+	// historical flat default, so short routes keep their behavior).
 	Timeout float64
+	// PerHopTimeout is the per-hop deadline budget used when Timeout is
+	// zero (default 0.5 s).
+	PerHopTimeout float64
+	// MaxRetries bounds retransmissions per lost message (default 3;
+	// negative disables retransmission).
+	MaxRetries int
+	// RetryBase is the first retransmission backoff; it doubles per
+	// attempt (default 50 ms).
+	RetryBase float64
+	// HoldLease, when positive, arms a reaper that reclaims tentative
+	// holds orphaned by a plane crash once they are older than the
+	// lease. Zero (the default) means crashes leak holds forever.
+	HoldLease float64
+	// Deliver, when non-nil, filters every control message (fault
+	// injection).
+	Deliver Deliver
 	// Bus, when non-nil, receives SignalHold / SignalCommit / SignalAbort
-	// events as sessions place tentative holds and resolve.
+	// events as sessions place tentative holds and resolve, plus
+	// ControlRetransmit and HoldReclaimed under faults.
 	Bus *eventbus.Bus
 }
 
@@ -48,11 +85,21 @@ func (o Options) withDefaults() Options {
 	if o.HopProcessing <= 0 {
 		o.HopProcessing = 200e-6
 	}
-	if o.Timeout <= 0 {
-		o.Timeout = 2
+	if o.PerHopTimeout <= 0 {
+		o.PerHopTimeout = 0.5
+	}
+	if o.MaxRetries == 0 {
+		o.MaxRetries = 3
+	}
+	if o.RetryBase <= 0 {
+		o.RetryBase = 0.05
 	}
 	return o
 }
+
+// minTimeout is the historical flat session deadline; hop-scaled
+// deadlines never drop below it.
+const minTimeout = 2.0
 
 // Result reports a finished setup session.
 type Result struct {
@@ -67,6 +114,17 @@ type Result struct {
 	FailedHop int
 }
 
+// orphan is hold state abandoned by a crash, awaiting lease expiry:
+// either one tentative per-link hold, or (route != nil) a committed
+// reservation whose confirmation never reached the source.
+type orphan struct {
+	conn   string
+	at     float64
+	link   topology.LinkID
+	amount float64
+	route  *topology.Route
+}
+
 // Plane runs setup sessions against one admission controller.
 type Plane struct {
 	Sim  *des.Simulator
@@ -77,6 +135,13 @@ type Plane struct {
 	pending map[topology.LinkID]float64
 	// Sessions counts sessions started; Commits counts successes.
 	Sessions, Commits, Rollbacks int
+	// Retransmits counts control messages resent after loss; Reclaimed
+	// counts orphans returned to the ledger by the lease reaper.
+	Retransmits, Reclaimed int
+
+	live        []*session
+	orphans     []orphan
+	reaperArmed bool
 }
 
 // NewPlane builds a signaling plane.
@@ -92,6 +157,30 @@ func NewPlane(sim *des.Simulator, ctl *admission.Controller, opts Options) *Plan
 // Pending returns the tentative holds on a link (for tests/diagnostics).
 func (p *Plane) Pending(id topology.LinkID) float64 { return p.pending[id] }
 
+// PendingTotal returns the sum of all tentative holds — zero once every
+// session has drained and every orphan was reclaimed.
+func (p *Plane) PendingTotal() float64 {
+	t := 0.0
+	for _, v := range p.pending {
+		t += v
+	}
+	return t
+}
+
+// deadlineFor computes the session deadline: the explicit Timeout, or
+// the per-hop budget scaled by route length, never below the historical
+// 2 s floor.
+func (p *Plane) deadlineFor(route topology.Route) float64 {
+	if p.opts.Timeout > 0 {
+		return p.opts.Timeout
+	}
+	d := p.opts.PerHopTimeout * float64(len(route.Links))
+	if d < minTimeout {
+		d = minTimeout
+	}
+	return d
+}
+
 // Setup starts a signaling session for the given admission test and
 // invokes done when it completes (success or failure). The callback runs
 // at the simulated completion time.
@@ -99,25 +188,133 @@ func (p *Plane) Setup(t admission.Test, done func(Result)) {
 	p.Sessions++
 	start := p.Sim.Now()
 	s := &session{plane: p, test: t, done: done, start: start}
-	deadline := p.Sim.After(p.opts.Timeout, func() {
+	deadline := p.Sim.After(p.deadlineFor(t.Route), func() {
 		if s.finished {
+			return
+		}
+		if s.committed {
+			// The reservation committed but the confirmation never made
+			// it back: the source gives up, so the destination tears the
+			// reservation down (holds were already converted).
+			p.Rollbacks++
+			p.opts.Bus.Publish(eventbus.SignalAbort{Conn: t.ConnID, Reason: "timeout-after-commit", Hop: len(t.Route.Links)})
+			p.Ctl.Ledger.Release(t.ConnID, t.Route)
+			s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
 			return
 		}
 		s.rollback(len(s.held), "timeout")
 		s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
 	})
 	s.deadline = deadline
-	s.forward(0)
+	p.track(s)
+	s.forward(0, 0)
+}
+
+// track registers a live session for crash handling, compacting the
+// finished ones opportunistically.
+func (p *Plane) track(s *session) {
+	if len(p.live) >= 16 {
+		kept := p.live[:0]
+		for _, old := range p.live {
+			if !old.finished {
+				kept = append(kept, old)
+			}
+		}
+		p.live = kept
+	}
+	p.live = append(p.live, s)
+}
+
+// Crash abandons every in-flight session with state loss: completion
+// callbacks never fire, deadlines are disarmed, and tentative holds stay
+// in the pending table as orphans. With HoldLease configured the reaper
+// reclaims them after the lease; without it they leak — exactly the
+// failure mode the fault auditor exists to catch. It returns the number
+// of sessions lost.
+func (p *Plane) Crash() int {
+	n := 0
+	for _, s := range p.live {
+		if s.finished {
+			continue
+		}
+		n++
+		s.finished = true
+		if s.deadline != nil {
+			s.deadline.Cancel()
+		}
+		now := p.Sim.Now()
+		if s.committed {
+			route := s.test.Route
+			p.orphans = append(p.orphans, orphan{conn: s.test.ConnID, at: now, route: &route})
+		}
+		for _, id := range s.held {
+			p.orphans = append(p.orphans, orphan{
+				conn: s.test.ConnID, at: now,
+				link: id, amount: s.test.Req.Bandwidth.Min,
+			})
+		}
+		s.held = nil
+	}
+	p.live = nil
+	p.armReaper()
+	return n
+}
+
+// armReaper starts the periodic lease sweep (idempotent; only after the
+// first crash, so fault-free runs schedule nothing extra).
+func (p *Plane) armReaper() {
+	if p.reaperArmed || p.opts.HoldLease <= 0 {
+		return
+	}
+	p.reaperArmed = true
+	p.Sim.Every(p.opts.HoldLease, p.reap)
+}
+
+// reap reclaims orphans older than the lease.
+func (p *Plane) reap() {
+	now := p.Sim.Now()
+	kept := p.orphans[:0]
+	for _, o := range p.orphans {
+		if now-o.at < p.opts.HoldLease {
+			kept = append(kept, o)
+			continue
+		}
+		p.Reclaimed++
+		if o.route != nil {
+			for _, l := range o.route.Links {
+				if ls := p.Ctl.Ledger.Link(l.ID); ls != nil {
+					if a := ls.Alloc(o.conn); a != nil {
+						p.opts.Bus.Publish(eventbus.HoldReclaimed{
+							Conn: o.conn, Link: string(l.ID), Amount: a.Min,
+							Reason: "commit-lease",
+						})
+					}
+				}
+			}
+			p.Ctl.Ledger.Release(o.conn, *o.route)
+			continue
+		}
+		p.pending[o.link] -= o.amount
+		if p.pending[o.link] <= 1e-12 {
+			delete(p.pending, o.link)
+		}
+		p.opts.Bus.Publish(eventbus.HoldReclaimed{
+			Conn: o.conn, Link: string(o.link), Amount: o.amount,
+			Reason: "hold-lease",
+		})
+	}
+	p.orphans = kept
 }
 
 type session struct {
-	plane    *Plane
-	test     admission.Test
-	done     func(Result)
-	start    float64
-	held     []topology.LinkID // links with tentative holds, in order
-	finished bool
-	deadline *des.Event
+	plane     *Plane
+	test      admission.Test
+	done      func(Result)
+	start     float64
+	held      []topology.LinkID // links with tentative holds, in order
+	finished  bool
+	committed bool
+	deadline  *des.Event
 }
 
 func (s *session) finish(r Result) {
@@ -138,10 +335,28 @@ func (s *session) hopDelay(l *topology.Link) float64 {
 	return l.PropDelay + s.plane.opts.HopProcessing
 }
 
+// retry schedules a retransmission of a lost message with exponential
+// backoff, or fails the session when the budget is spent. resend runs
+// with the next attempt number.
+func (s *session) retry(hop, attempt int, resend func(attempt int)) bool {
+	p := s.plane
+	if attempt >= p.opts.MaxRetries {
+		return false
+	}
+	p.Retransmits++
+	p.opts.Bus.Publish(eventbus.ControlRetransmit{
+		Proto: "signal", Conn: s.test.ConnID, Hop: hop, Attempt: attempt + 1,
+	})
+	backoff := p.opts.RetryBase * float64(int(1)<<attempt)
+	p.Sim.After(backoff, func() { resend(attempt + 1) })
+	return true
+}
+
 // forward advances the setup packet to hop i (0-based); it performs the
 // bandwidth availability check against committed + pending holds, places
-// this session's tentative hold, and proceeds.
-func (s *session) forward(i int) {
+// this session's tentative hold, and proceeds. attempt counts
+// retransmissions of this hop's message.
+func (s *session) forward(i, attempt int) {
 	if s.finished {
 		return
 	}
@@ -150,7 +365,19 @@ func (s *session) forward(i int) {
 		return
 	}
 	link := s.test.Route.Links[i]
-	s.plane.Sim.After(s.hopDelay(link), func() {
+	delay := s.hopDelay(link)
+	if d := s.plane.opts.Deliver; d != nil {
+		drop, extra := d(s.test.ConnID, i)
+		if drop {
+			if !s.retry(i, attempt, func(a int) { s.forward(i, a) }) {
+				s.rollback(i, "lost")
+				s.finish(Result{Err: fmt.Errorf("%w at hop %d", ErrLost, i+1), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			}
+			return
+		}
+		delay += extra
+	}
+	s.plane.Sim.After(delay, func() {
 		if s.finished {
 			return
 		}
@@ -158,6 +385,11 @@ func (s *session) forward(i int) {
 		if ls == nil {
 			s.rollback(i, "unknown-link")
 			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			return
+		}
+		if ls.Down {
+			s.rollback(i, "link-down")
+			s.finish(Result{Err: fmt.Errorf("%w: %s", ErrLinkDown, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
 			return
 		}
 		need := s.test.Req.Bandwidth.Min
@@ -170,7 +402,7 @@ func (s *session) forward(i int) {
 		s.plane.pending[link.ID] += need
 		s.held = append(s.held, link.ID)
 		s.plane.opts.Bus.Publish(eventbus.SignalHold{Conn: s.test.ConnID, Link: string(link.ID)})
-		s.forward(i + 1)
+		s.forward(i+1, 0)
 	})
 }
 
@@ -201,11 +433,43 @@ func (s *session) atDestination() {
 	}
 	// Reverse pass back to the source: the reservation is committed; the
 	// session completes when the confirmation reaches the source.
+	s.committed = true
+	s.sendConfirm(res, 0)
+}
+
+// sendConfirm carries the commit confirmation back to the source across
+// the reverse hops (indices n..2n-1 for the delivery hook). A lost
+// confirmation is retransmitted by the destination; when the budget runs
+// out the destination tears the committed reservation down so nothing
+// leaks.
+func (s *session) sendConfirm(res admission.Result, attempt int) {
+	if s.finished {
+		return
+	}
+	n := len(s.test.Route.Links)
 	total := 0.0
 	for _, l := range s.test.Route.Links {
 		total += s.hopDelay(l)
 	}
+	if d := s.plane.opts.Deliver; d != nil {
+		for j := 0; j < n; j++ {
+			drop, extra := d(s.test.ConnID, n+j)
+			if drop {
+				if !s.retry(n+j, attempt, func(a int) { s.sendConfirm(res, a) }) {
+					s.plane.Rollbacks++
+					s.plane.opts.Bus.Publish(eventbus.SignalAbort{Conn: s.test.ConnID, Reason: "commit-lost", Hop: n + j})
+					s.plane.Ctl.Ledger.Release(s.test.ConnID, s.test.Route)
+					s.finish(Result{Err: fmt.Errorf("%w: commit confirmation", ErrLost), Latency: s.plane.Sim.Now() - s.start})
+				}
+				return
+			}
+			total += extra
+		}
+	}
 	s.plane.Sim.After(total, func() {
+		if s.finished {
+			return
+		}
 		s.plane.Commits++
 		latency := s.plane.Sim.Now() - s.start
 		s.plane.opts.Bus.Publish(eventbus.SignalCommit{Conn: s.test.ConnID, Latency: latency})

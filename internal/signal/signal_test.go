@@ -186,3 +186,190 @@ func TestTimeoutAbortsSession(t *testing.T) {
 		}
 	}
 }
+
+func TestTimeoutScalesWithHopCount(t *testing.T) {
+	_, p, route := rig(t)
+	// Default per-hop budget (0.5 s) over 3 hops stays at the 2 s floor.
+	if d := p.deadlineFor(route); d != 2 {
+		t.Fatalf("3-hop deadline = %v, want floor 2", d)
+	}
+	// A larger per-hop budget scales past the floor.
+	p.opts.PerHopTimeout = 1.5
+	if d := p.deadlineFor(route); d != 4.5 {
+		t.Fatalf("scaled deadline = %v, want 4.5", d)
+	}
+	// An explicit timeout always wins.
+	p.opts.Timeout = 7
+	if d := p.deadlineFor(route); d != 7 {
+		t.Fatalf("explicit deadline = %v, want 7", d)
+	}
+}
+
+func TestLostForwardMessageIsRetransmitted(t *testing.T) {
+	sim, p, route := rig(t)
+	dropped := false
+	p.opts.Deliver = func(conn string, hop int) (bool, float64) {
+		if hop == 1 && !dropped {
+			dropped = true
+			return true, 0
+		}
+		return false, 0
+	}
+	var got Result
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(r Result) { got = r })
+	if err := sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if got.Err != nil {
+		t.Fatalf("setup failed despite retransmission: %v", got.Err)
+	}
+	if p.Retransmits != 1 {
+		t.Fatalf("Retransmits = %d, want 1", p.Retransmits)
+	}
+	// One backoff period (50 ms) dominates the clean round trip.
+	if got.Latency < 0.05 {
+		t.Fatalf("latency %v does not include the retransmission backoff", got.Latency)
+	}
+	if p.PendingTotal() != 0 {
+		t.Fatal("stale pending holds after recovery")
+	}
+}
+
+func TestRetryBudgetExhaustionAbortsSetup(t *testing.T) {
+	sim, p, route := rig(t)
+	drops := 0
+	p.opts.Deliver = func(conn string, hop int) (bool, float64) {
+		if hop == 1 {
+			drops++
+			return true, 0
+		}
+		return false, 0
+	}
+	var got Result
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(r Result) { got = r })
+	if err := sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got.Err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", got.Err)
+	}
+	// Original + MaxRetries (3) transmissions, all dropped.
+	if drops != 4 || p.Retransmits != 3 {
+		t.Fatalf("drops = %d retransmits = %d, want 4 and 3", drops, p.Retransmits)
+	}
+	if got.FailedHop != 2 {
+		t.Fatalf("failed hop = %d, want 2", got.FailedHop)
+	}
+	if p.PendingTotal() != 0 {
+		t.Fatal("tentative holds leaked after abort")
+	}
+}
+
+func TestLostCommitConfirmationReleasesReservation(t *testing.T) {
+	sim, p, route := rig(t)
+	p.opts.Deliver = func(conn string, hop int) (bool, float64) {
+		return hop >= len(route.Links), 0 // lose every reverse-pass message
+	}
+	var got Result
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(r Result) { got = r })
+	if err := sim.RunUntil(5); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got.Err, ErrLost) {
+		t.Fatalf("err = %v, want ErrLost", got.Err)
+	}
+	// The reservation committed at the destination must have been torn
+	// down when the confirmation could not be delivered.
+	for _, l := range route.Links {
+		if p.Ctl.Ledger.Link(l.ID).Alloc("c1") != nil {
+			t.Fatalf("reservation leaked on %s", l.ID)
+		}
+	}
+	if p.PendingTotal() != 0 {
+		t.Fatal("tentative holds leaked")
+	}
+}
+
+func TestCrashOrphansHoldsAndLeaseReclaims(t *testing.T) {
+	sim, p, route := rig(t)
+	p.opts.HoldLease = 0.5
+	called := false
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(Result) { called = true })
+	// Crash mid-forward: hops complete at 1.2 ms and 2.4 ms, so at 2.5 ms
+	// the session holds tentative bandwidth on the first two links.
+	var lost int
+	sim.At(2.5e-3, func() { lost = p.Crash() })
+	if err := sim.RunUntil(0.01); err != nil {
+		t.Fatal(err)
+	}
+	if lost != 1 {
+		t.Fatalf("Crash() = %d sessions, want 1", lost)
+	}
+	if called {
+		t.Fatal("completion callback ran despite crash")
+	}
+	if got, want := p.PendingTotal(), 2*64e3; got != want {
+		t.Fatalf("orphaned holds = %v, want %v", got, want)
+	}
+	// The lease reaper reclaims the orphans once they age past the lease.
+	if err := sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if p.PendingTotal() != 0 {
+		t.Fatalf("holds not reclaimed: %v", p.PendingTotal())
+	}
+	if p.Reclaimed != 2 {
+		t.Fatalf("Reclaimed = %d, want 2", p.Reclaimed)
+	}
+}
+
+func TestCrashWithoutLeaseLeaksForever(t *testing.T) {
+	sim, p, route := rig(t)
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(Result) {})
+	sim.At(2.5e-3, func() { p.Crash() })
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if p.PendingTotal() == 0 {
+		t.Fatal("holds should leak without a lease — the auditor's job is to catch this")
+	}
+}
+
+func TestCrashAfterCommitReclaimsViaLease(t *testing.T) {
+	sim, p, route := rig(t)
+	p.opts.HoldLease = 0.5
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(Result) {})
+	// The destination commits at 2.6 ms; the confirmation lands at 5.2 ms.
+	// Crash in between: the committed reservation is orphaned.
+	sim.At(4e-3, func() { p.Crash() })
+	if err := sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range route.Links {
+		if p.Ctl.Ledger.Link(l.ID).Alloc("c1") != nil {
+			t.Fatalf("committed reservation not reclaimed on %s", l.ID)
+		}
+	}
+	if p.Reclaimed != 1 {
+		t.Fatalf("Reclaimed = %d, want 1 (the route orphan)", p.Reclaimed)
+	}
+}
+
+func TestDownLinkRejectsForwardPass(t *testing.T) {
+	sim, p, route := rig(t)
+	p.Ctl.Ledger.Link(route.Links[1].ID).Down = true
+	var got Result
+	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(r Result) { got = r })
+	if err := sim.RunUntil(1); err != nil {
+		t.Fatal(err)
+	}
+	if !errors.Is(got.Err, ErrLinkDown) {
+		t.Fatalf("err = %v, want ErrLinkDown", got.Err)
+	}
+	if got.FailedHop != 2 {
+		t.Fatalf("failed hop = %d, want 2", got.FailedHop)
+	}
+	if p.PendingTotal() != 0 {
+		t.Fatal("holds leaked after link-down rejection")
+	}
+}

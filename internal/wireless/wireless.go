@@ -100,6 +100,10 @@ type CapacityProcess struct {
 	rng   *randx.Rand
 	bus   *eventbus.Bus
 	link  string
+
+	onChange      func(capacity float64)
+	blackoutUntil float64
+	preBlackout   int
 }
 
 // PublishTo routes every capacity change through the given event bus as a
@@ -135,24 +139,71 @@ func (c *CapacityProcess) Capacity() float64 { return c.Levels[c.level] }
 // Attach schedules the level process, invoking onChange (which may be nil)
 // whenever the effective capacity actually changes.
 func (c *CapacityProcess) Attach(sim *des.Simulator, onChange func(capacity float64)) {
+	c.onChange = onChange
 	if len(c.Levels) == 1 {
 		return // nothing to modulate
 	}
 	var schedule func()
 	schedule = func() {
 		sim.After(c.rng.Exp(1/c.DwellMean), func() {
-			next := c.draw()
-			if next != c.level {
-				c.level = next
-				c.bus.Publish(eventbus.CapacityChange{Link: c.link, Capacity: c.Capacity()})
-				if onChange != nil {
-					onChange(c.Capacity())
-				}
+			if sim.Now() < c.blackoutUntil {
+				schedule() // level pinned during a blackout
+				return
 			}
+			c.setLevel(c.draw())
 			schedule()
 		})
 	}
 	schedule()
+}
+
+// setLevel moves to a level, publishing and notifying only on actual
+// capacity changes.
+func (c *CapacityProcess) setLevel(next int) {
+	if next == c.level {
+		return
+	}
+	c.level = next
+	c.bus.Publish(eventbus.CapacityChange{Link: c.link, Capacity: c.Capacity()})
+	if c.onChange != nil {
+		c.onChange(c.Capacity())
+	}
+}
+
+// Blackout forces the process to its worst level for duration seconds —
+// the fault-injection model of a deep fade or a jammer. Scheduled dwell
+// redraws are suppressed while the blackout lasts; afterwards the
+// pre-blackout level is restored and the dwell process resumes.
+// Overlapping blackouts extend each other. With a single configured
+// level there is nothing worse to fall to, so the call is a no-op.
+func (c *CapacityProcess) Blackout(sim *des.Simulator, duration float64) {
+	if duration <= 0 || len(c.Levels) == 1 {
+		return
+	}
+	now := sim.Now()
+	if now >= c.blackoutUntil {
+		c.preBlackout = c.level
+	}
+	if until := now + duration; until > c.blackoutUntil {
+		c.blackoutUntil = until
+	}
+	c.setLevel(c.worstLevel())
+	sim.After(duration, func() {
+		if sim.Now() < c.blackoutUntil {
+			return // a later blackout extended this one
+		}
+		c.setLevel(c.preBlackout)
+	})
+}
+
+func (c *CapacityProcess) worstLevel() int {
+	w := 0
+	for i, l := range c.Levels {
+		if l < c.Levels[w] {
+			w = i
+		}
+	}
+	return w
 }
 
 func (c *CapacityProcess) draw() int {

@@ -173,3 +173,54 @@ func TestSingleLevelProcessIsStatic(t *testing.T) {
 		t.Fatal("single-level process scheduled events")
 	}
 }
+
+func TestBlackoutForcesWorstLevelAndRestores(t *testing.T) {
+	rng := randx.New(3)
+	proc, err := NewCapacityProcess([]float64{1.6e6, 800e3, 200e3}, 1000, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	var changes []float64
+	proc.Attach(sim, func(c float64) { changes = append(changes, c) })
+	sim.At(1, func() { proc.Blackout(sim, 5) })
+	if err := sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Capacity(); got != 200e3 {
+		t.Fatalf("capacity during blackout = %v, want worst level 200e3", got)
+	}
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Capacity(); got != 1.6e6 {
+		t.Fatalf("capacity after blackout = %v, want restored 1.6e6", got)
+	}
+	if len(changes) != 2 || changes[0] != 200e3 || changes[1] != 1.6e6 {
+		t.Fatalf("onChange sequence = %v, want [200e3 1.6e6]", changes)
+	}
+}
+
+func TestOverlappingBlackoutsExtend(t *testing.T) {
+	rng := randx.New(3)
+	proc, err := NewCapacityProcess([]float64{1e6, 100e3}, 1000, nil, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := des.New()
+	proc.Attach(sim, nil)
+	sim.At(1, func() { proc.Blackout(sim, 4) })
+	sim.At(3, func() { proc.Blackout(sim, 6) }) // extends to t=9
+	if err := sim.RunUntil(6); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Capacity(); got != 100e3 {
+		t.Fatalf("capacity = %v, first blackout's expiry ended the extended one", got)
+	}
+	if err := sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	if got := proc.Capacity(); got != 1e6 {
+		t.Fatalf("capacity = %v after extended blackout, want 1e6", got)
+	}
+}
