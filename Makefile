@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos
+.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos overload
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, and the chaos recovery gate.
-ci: vet build race fuzz-short trace-determinism chaos
+## replication check, and the chaos and overload gates.
+ci: vet build race fuzz-short trace-determinism chaos overload
 
 vet:
 	$(GO) vet ./...
@@ -20,14 +20,18 @@ race:
 	$(GO) test -race ./...
 
 ## fuzz-short: run every Fuzz* target's checked-in seed corpus only
-## (no mutation) — fast, deterministic, suitable for CI.
+## (no mutation) across all packages — fast, deterministic, suitable
+## for CI.
 fuzz-short:
-	$(GO) test -run '^Fuzz' ./internal/maxmin ./internal/faults
+	$(GO) test -run '^Fuzz' ./...
 
-## fuzz: actually mutate for a bounded time (override FUZZTIME).
+## fuzz: actually mutate for a bounded time (override FUZZTIME and
+## FUZZTARGET/FUZZPKG to steer).
 FUZZTIME ?= 30s
+FUZZTARGET ?= FuzzMaxminConvergence
+FUZZPKG ?= ./internal/maxmin
 fuzz:
-	$(GO) test -run '^$$' -fuzz FuzzMaxminConvergence -fuzztime $(FUZZTIME) ./internal/maxmin
+	$(GO) test -run '^$$' -fuzz $(FUZZTARGET) -fuzztime $(FUZZTIME) $(FUZZPKG)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . ./internal/eventbus
@@ -45,8 +49,16 @@ chaos:
 	$(GO) test -race -run 'Chaos' ./internal/sim
 	$(GO) test -race ./internal/faults
 
+## overload: the overload-control gate — the load-ramp scenarios run
+## under the race detector, the degrade-before-drop invariant is
+## audited, and the pinned seed-1 overload trace must not drift.
+overload:
+	$(GO) test -race -run 'Overload' ./internal/sim
+	$(GO) test -race ./internal/overload
+
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.
 golden:
 	$(GO) test ./cmd/paperfigs -update
 	$(GO) test ./internal/sim -run TestChaosTraceGolden -update-chaos
+	$(GO) test ./internal/sim -run TestOverloadTraceGolden -update-overload

@@ -46,6 +46,7 @@ import (
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
 	"armnet/internal/faults"
+	"armnet/internal/overload"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/reserve"
@@ -149,19 +150,23 @@ type CounterSet = core.CounterSet
 
 // Counters in Metrics.Counter.
 const (
-	CtrNewRequested   = core.CtrNewRequested
-	CtrNewAdmitted    = core.CtrNewAdmitted
-	CtrNewBlocked     = core.CtrNewBlocked
-	CtrHandoffTried   = core.CtrHandoffTried
-	CtrHandoffOK      = core.CtrHandoffOK
-	CtrHandoffDropped = core.CtrHandoffDropped
-	CtrAdaptUpdates   = core.CtrAdaptUpdates
-	CtrAdvanceResv    = core.CtrAdvanceResv
-	CtrPoolClaims     = core.CtrPoolClaims
-	CtrFaultsInjected = core.CtrFaultsInjected
-	CtrRetransmits    = core.CtrRetransmits
-	CtrReclaimedHolds = core.CtrReclaimedHolds
-	CtrReadvertises   = core.CtrReadvertises
+	CtrNewRequested     = core.CtrNewRequested
+	CtrNewAdmitted      = core.CtrNewAdmitted
+	CtrNewBlocked       = core.CtrNewBlocked
+	CtrHandoffTried     = core.CtrHandoffTried
+	CtrHandoffOK        = core.CtrHandoffOK
+	CtrHandoffDropped   = core.CtrHandoffDropped
+	CtrAdaptUpdates     = core.CtrAdaptUpdates
+	CtrAdvanceResv      = core.CtrAdvanceResv
+	CtrPoolClaims       = core.CtrPoolClaims
+	CtrFaultsInjected   = core.CtrFaultsInjected
+	CtrRetransmits      = core.CtrRetransmits
+	CtrReclaimedHolds   = core.CtrReclaimedHolds
+	CtrReadvertises     = core.CtrReadvertises
+	CtrShedSetups       = core.CtrShedSetups
+	CtrDegradeCascades  = core.CtrDegradeCascades
+	CtrBreakerTrips     = core.CtrBreakerTrips
+	CtrBreakerFastFails = core.CtrBreakerFastFails
 )
 
 // FaultPlan is a deterministic fault-injection schedule for Config.Faults:
@@ -192,6 +197,40 @@ type SignalOptions = signal.Options
 //	at <time> crash-zone <zone>
 //	at <time> crash-signaling
 var ParseFaultPlan = faults.ParsePlan
+
+// OverloadPolicy parameterizes the staged overload-control subsystem
+// (Config.Overload): per-cell utilization detection with hysteresis,
+// degrade cascades, priority load shedding, a setup token bucket, and
+// the signaling circuit breaker. A nil policy disarms the subsystem
+// entirely — no timers, no subscriptions, byte-identical traces.
+type OverloadPolicy = overload.Policy
+
+// OverloadAuditor checks the degrade-before-drop invariant: no handoff
+// may be dropped while a degradable connection on the contended link
+// still holds bandwidth above its minimum.
+type OverloadAuditor = overload.Auditor
+
+// ErrBusy marks setups fast-failed by an open signaling circuit
+// breaker; callers should back off rather than retry immediately.
+var ErrBusy = overload.ErrBusy
+
+// ParseOverloadPolicy reads the line-oriented overload-policy grammar
+// (omitted directives keep their defaults):
+//
+//	sample <seconds>                 # utilization sampling period
+//	ewma <alpha>                     # utilization smoothing weight
+//	degrade <high> <low>             # stage 1 enter/leave watermarks
+//	shed-static <high> <low>         # stage 2
+//	shed-mobile <high> <low>         # stage 3
+//	queue <depth>                    # setup-queue escalation threshold
+//	bucket <rate> <burst>            # setup token bucket during overload
+//	breaker <failrate> <window> <cooldown> <probes>
+//	breaker-retrans <count>          # retransmission-pressure trip (0 = off)
+var ParseOverloadPolicy = overload.ParsePolicy
+
+// DefaultOverloadPolicy returns the default overload policy; adjust
+// fields and assign to Config.Overload to arm the subsystem.
+var DefaultOverloadPolicy = overload.Default
 
 // Topology builders.
 var (
@@ -308,6 +347,11 @@ func (n *Network) Bus() *EventBus { return n.mgr.Bus }
 func (n *Network) Trace(w io.Writer) *EventRecorder {
 	return eventbus.AttachRecorder(n.mgr.Bus, w)
 }
+
+// OverloadAuditor subscribes a degrade-before-drop invariant checker to
+// the network's bus and returns it. Attach before running; inspect
+// Violations after.
+func (n *Network) OverloadAuditor() *OverloadAuditor { return n.mgr.OverloadAuditor() }
 
 // WatchBandwidth registers a per-connection bandwidth-change callback —
 // the hook an adaptive application uses to switch encoding rates when the

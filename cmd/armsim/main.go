@@ -33,6 +33,15 @@
 // -signal-timeout and -signal-retries:
 //
 //	armsim -topology campus -fault-plan chaos.plan -trace - -seed 1
+//
+// With -overload-policy FILE (or the literal "default") the staged
+// overload-control subsystem is armed (see internal/overload for the
+// policy grammar): per-cell utilization detection, degrade cascades,
+// priority load shedding, and a signaling circuit breaker. The report
+// then includes setups-shed, degrade-cascades, breaker-trips and
+// breaker-fast-fails counters:
+//
+//	armsim -topology campus -overload-policy default -portables 48
 package main
 
 import (
@@ -63,6 +72,7 @@ func main() {
 	mobilityTrace := flag.String("mobility-trace", "", "replay a CSV mobility trace (see cmd/tracegen) instead of generating one")
 	tracePath := flag.String("trace", "", "write the control-plane event stream as JSON Lines to this file (- for stdout)")
 	faultPlan := flag.String("fault-plan", "", "inject faults from this plan file (drop/dup/delay rules and timed outages); connections then open through the signaling plane")
+	overloadPolicy := flag.String("overload-policy", "", "arm staged overload control from this policy file (see internal/overload for the grammar); 'default' uses the built-in policy")
 	signalTimeout := flag.Float64("signal-timeout", 0, "signaling setup deadline in seconds (0 = scale with route hop count)")
 	signalRetries := flag.Int("signal-retries", 0, "per-hop control-message retransmission budget (0 = default)")
 	replications := flag.Int("replications", 1, "independent scenario replications under derived seeds")
@@ -74,7 +84,8 @@ func main() {
 		portables: *portables, duration: *duration, dwell: *dwell,
 		modeName: *modeName, bmin: *bmin, bmax: *bmax,
 		mobilityPath: *mobilityTrace, tracePath: *tracePath,
-		faultPath: *faultPlan, sigTimeout: *signalTimeout, sigRetries: *signalRetries,
+		faultPath: *faultPlan, overloadPath: *overloadPolicy,
+		sigTimeout: *signalTimeout, sigRetries: *signalRetries,
 	}
 	if err := run(sc, *seed, *replications, *parallel, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "armsim:", err)
@@ -99,6 +110,8 @@ type scenario struct {
 	tracePath      string          // JSONL event-trace destination ("" = off)
 	faultPath      string
 	faults         *armnet.FaultPlan // parsed once; injectors only read it
+	overloadPath   string
+	overload       *armnet.OverloadPolicy // parsed once; controllers copy it
 	sigTimeout     float64
 	sigRetries     int
 }
@@ -133,6 +146,22 @@ func (sc *scenario) prepare() error {
 		f.Close()
 		if err != nil {
 			return err
+		}
+	}
+	if sc.overloadPath != "" {
+		if sc.overloadPath == "default" {
+			def := armnet.DefaultOverloadPolicy()
+			sc.overload = &def
+		} else {
+			f, err := os.Open(sc.overloadPath)
+			if err != nil {
+				return err
+			}
+			sc.overload, err = armnet.ParseOverloadPolicy(f)
+			f.Close()
+			if err != nil {
+				return err
+			}
 		}
 	}
 	if sc.mobilityPath != "" {
@@ -186,7 +215,7 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 	if err != nil {
 		return replication{}, err
 	}
-	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults}
+	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults, Overload: sc.overload}
 	cfg.Signal.Timeout = sc.sigTimeout
 	cfg.Signal.MaxRetries = sc.sigRetries
 	net, err := armnet.NewNetwork(env, cfg)

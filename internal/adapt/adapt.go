@@ -34,6 +34,9 @@ type connInfo struct {
 	route    topology.Route
 	bounds   qos.Bounds
 	mobility qos.Mobility
+	// degraded caps the connection at b_min: it is out of the maxmin
+	// protocol until Restore lifts the cap (overload degrade cascades).
+	degraded bool
 }
 
 // Manager owns the adaptation state.
@@ -134,6 +137,9 @@ func (m *Manager) SetMobility(connID string, mob qos.Mobility) error {
 	}
 	ci.mobility = mob
 	if mob == qos.Mobile {
+		// A mobile connection is pinned at b_min anyway; the degrade cap
+		// is moot and must not survive a later flip back to static.
+		ci.degraded = false
 		m.Proto.RemoveConn(connID)
 		for _, l := range ci.route.Links {
 			if err := m.Ledger.SetAllocation(connID, l.ID, ci.bounds.Min); err != nil {
@@ -152,6 +158,65 @@ func (m *Manager) SetMobility(connID string, mob qos.Mobility) error {
 	m.SyncRoute(ci.route)
 	m.Proto.Kick(connID)
 	return nil
+}
+
+// Degrade caps an adaptable static connection at its guaranteed minimum:
+// it leaves the maxmin protocol, its allocation drops to b_min on every
+// link of its route, and the freed excess is re-advertised to the
+// remaining sessions. It reports whether the connection was newly
+// degraded; unknown, mobile, already-degraded, and zero-width
+// connections are left alone.
+func (m *Manager) Degrade(connID string) bool {
+	ci, ok := m.conns[connID]
+	if !ok || ci.mobility != qos.Static || ci.degraded || ci.bounds.Width() == 0 {
+		return false
+	}
+	ci.degraded = true
+	m.Proto.RemoveConn(connID)
+	for _, l := range ci.route.Links {
+		// The allocation may race a release; ignore missing allocations.
+		_ = m.Ledger.SetAllocation(connID, l.ID, ci.bounds.Min)
+	}
+	if m.OnRate != nil {
+		m.OnRate(connID, ci.bounds.Min)
+	}
+	m.SyncRoute(ci.route)
+	return true
+}
+
+// Restore lifts a degrade cap: the connection rejoins the maxmin
+// protocol and competes for excess again. It reports whether a cap was
+// actually lifted.
+func (m *Manager) Restore(connID string) bool {
+	ci, ok := m.conns[connID]
+	if !ok || !ci.degraded {
+		return false
+	}
+	ci.degraded = false
+	if ci.mobility != qos.Static {
+		return true
+	}
+	if err := m.addToProtocol(connID, ci); err != nil {
+		ci.degraded = true
+		return false
+	}
+	m.SyncRoute(ci.route)
+	m.Proto.Kick(connID)
+	return true
+}
+
+// Degraded reports whether the connection is currently degrade-capped.
+func (m *Manager) Degraded(connID string) bool {
+	ci, ok := m.conns[connID]
+	return ok && ci.degraded
+}
+
+// Degradable reports whether a degrade cascade could still reclaim
+// bandwidth from the connection: a registered static connection with
+// adaptable width that is not already capped.
+func (m *Manager) Degradable(connID string) bool {
+	ci, ok := m.conns[connID]
+	return ok && ci.mobility == qos.Static && !ci.degraded && ci.bounds.Width() > 0
 }
 
 // SyncLink recomputes a link's excess capacity b'_av,l from the ledger
@@ -190,6 +255,11 @@ func (m *Manager) CapacityChanged(id topology.LinkID, capacity float64) error {
 func (m *Manager) applyUpdate(connID string, rate float64) {
 	ci, ok := m.conns[connID]
 	if !ok {
+		return
+	}
+	// An UPDATE already in flight when Degrade removed the session must
+	// not re-raise the allocation above the cap.
+	if ci.degraded {
 		return
 	}
 	bw := ci.bounds.Clamp(ci.bounds.Min + rate)

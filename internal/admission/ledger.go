@@ -82,11 +82,14 @@ func (ls *LinkState) Alloc(id string) *Alloc { return ls.allocs[id] }
 // NumConns returns N_l, the number of connections on the link.
 func (ls *LinkState) NumConns() int { return len(ls.allocs) }
 
-// SumMin returns Σ b_min,i over ongoing connections.
+// SumMin returns Σ b_min,i over ongoing connections. All three sums
+// iterate in sorted order: float addition is not associative, so a
+// map-order sum varies in the last ulp between runs, and these values
+// feed the maxmin protocol's advertised rates — which are published.
 func (ls *LinkState) SumMin() float64 {
 	t := 0.0
-	for _, a := range ls.allocs {
-		t += a.Min
+	for _, id := range ls.Conns() {
+		t += ls.allocs[id].Min
 	}
 	return t
 }
@@ -94,8 +97,8 @@ func (ls *LinkState) SumMin() float64 {
 // SumCur returns Σ b_i, the currently allocated bandwidth.
 func (ls *LinkState) SumCur() float64 {
 	t := 0.0
-	for _, a := range ls.allocs {
-		t += a.Cur
+	for _, id := range ls.Conns() {
+		t += ls.allocs[id].Cur
 	}
 	return t
 }
@@ -103,8 +106,8 @@ func (ls *LinkState) SumCur() float64 {
 // SumBuffer returns the committed buffer space.
 func (ls *LinkState) SumBuffer() float64 {
 	t := 0.0
-	for _, a := range ls.allocs {
-		t += a.Buffer
+	for _, id := range ls.Conns() {
+		t += ls.allocs[id].Buffer
 	}
 	return t
 }

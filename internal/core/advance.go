@@ -52,9 +52,16 @@ func (m *Manager) bookSet(link topology.LinkID, source string, amount float64) {
 	} else {
 		entries[source] = amount
 	}
+	// Sorted sum: the total feeds admission and excess capacity, and a
+	// map-order float sum drifts in the last ulp between runs.
+	sources := make([]string, 0, len(entries))
+	for s := range entries {
+		sources = append(sources, s)
+	}
+	sort.Strings(sources)
 	total := 0.0
-	for _, v := range entries {
-		total += v
+	for _, s := range sources {
+		total += entries[s]
 	}
 	_ = m.Ctl.Ledger.SetAdvance(link, total)
 }

@@ -24,6 +24,14 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 		return "", fmt.Errorf("%w: %s", ErrUnknownPortable, portable)
 	}
 	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
+	// Overload shedding applies before any resources are touched;
+	// best-effort requests are exempt (they hold nothing, §4 never
+	// blocks them).
+	if !req.BestEffort() {
+		if err := m.allowSetup(p); err != nil {
+			return "", err
+		}
+	}
 	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
 	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
 	if err != nil {
@@ -217,7 +225,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 		// Release the old path first (the portable has left the cell),
 		// then admit on the new one.
 		m.Ctl.Ledger.Release(connID, c.Route)
-		res, err := m.Ctl.Admit(admission.Test{
+		test := admission.Test{
 			ConnID:     connID,
 			Req:        c.Req,
 			Route:      newRoute,
@@ -225,7 +233,17 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 			Mobility:   qos.Mobile,
 			Discipline: m.Cfg.Discipline,
 			LMax:       m.Cfg.LMax,
-		})
+		}
+		res, err := m.Ctl.Admit(test)
+		if err == nil && !res.Admitted && m.Ovl != nil && res.FailedLink != "" {
+			// Degrade before drop: cap every adaptable connection on the
+			// contended link at b_min, then re-test once. Dropping an
+			// ongoing connection is the worst outcome the paper knows
+			// (§6); excess bandwidth must go first.
+			if m.degradeLink(res.FailedLink) > 0 {
+				res, err = m.Ctl.Admit(test)
+			}
+		}
 		if err != nil || !res.Admitted {
 			m.dropConnection(c, p)
 			continue

@@ -21,6 +21,7 @@ import (
 	"armnet/internal/eventbus"
 	"armnet/internal/faults"
 	"armnet/internal/maxmin"
+	"armnet/internal/overload"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
@@ -96,6 +97,12 @@ type Config struct {
 	// time zero). A nil or empty plan costs nothing — no RNG draws, no
 	// extra events.
 	Faults *faults.Plan
+	// Overload, when non-nil, arms the staged overload-control
+	// subsystem (degrade cascades, priority load shedding, signaling
+	// circuit breaker) over every cell's wireless downlink. A nil
+	// policy costs nothing — no timers, no events, byte-identical
+	// traces.
+	Overload *overload.Policy
 }
 
 func (c Config) withDefaults() Config {
@@ -174,6 +181,8 @@ type Manager struct {
 	Latency LatencyStats
 	// Inj is the armed fault injector; nil without a fault plan.
 	Inj *faults.Injector
+	// Ovl is the armed overload controller; nil without a policy.
+	Ovl *overload.Controller
 
 	portables map[string]*Portable
 	conns     map[string]*Connection
@@ -283,6 +292,14 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 	}
 	// Periodic lounge-policy evaluation.
 	sim.Every(cfg.SlotDuration, m.evaluatePolicies)
+	// Overload control (overload.go): armed only under a policy, so the
+	// nil default adds no timers and no events.
+	if cfg.Overload != nil {
+		if err := cfg.Overload.Validate(); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.armOverload(*cfg.Overload)
+	}
 	// Schedule the plan's timed component faults, executed through the
 	// manager's own Driver implementation (faultdriver.go).
 	if m.Inj != nil {
@@ -384,7 +401,9 @@ func (m *Manager) becomeStatic(p *Portable) {
 	p.Mobility = qos.Static
 	m.clearAdvance(p)
 	if m.Adpt != nil {
-		for cid := range p.conns {
+		// Sorted: SetMobility(Static) kicks adaptation sessions, and the
+		// session start order is observable in the event trace.
+		for _, cid := range p.Conns() {
 			_ = m.Adpt.SetMobility(cid, qos.Static)
 		}
 	}
@@ -398,7 +417,7 @@ func (m *Manager) becomeMobile(p *Portable) {
 	}
 	p.Mobility = qos.Mobile
 	if m.Adpt != nil {
-		for cid := range p.conns {
+		for _, cid := range p.Conns() {
 			_ = m.Adpt.SetMobility(cid, qos.Mobile)
 		}
 	}

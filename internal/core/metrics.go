@@ -28,6 +28,10 @@ const (
 	CtrRetransmits
 	CtrReclaimedHolds
 	CtrReadvertises
+	CtrShedSetups
+	CtrDegradeCascades
+	CtrBreakerTrips
+	CtrBreakerFastFails
 
 	ctrCount int = iota
 )
@@ -46,6 +50,12 @@ var ctrNames = [ctrCount]string{
 	CtrRetransmits:    "control-retransmits",
 	CtrReclaimedHolds: "reclaimed-holds",
 	CtrReadvertises:   "readvertise-kicks",
+	// Overload control: sheds exclude breaker fast-fails, which get
+	// their own counter; cascades count "degrade" actions only.
+	CtrShedSetups:       "setups-shed",
+	CtrDegradeCascades:  "degrade-cascades",
+	CtrBreakerTrips:     "breaker-trips",
+	CtrBreakerFastFails: "breaker-fast-fails",
 }
 
 // String returns the stable report name (the strings the pre-enum API
@@ -135,6 +145,9 @@ func NewMetrics(bus *eventbus.Bus) *Metrics {
 		eventbus.KindControlRetransmit,
 		eventbus.KindHoldReclaimed,
 		eventbus.KindReadvertise,
+		eventbus.KindSetupShed,
+		eventbus.KindDegradeCascade,
+		eventbus.KindBreakerState,
 	)
 	return m
 }
@@ -172,5 +185,19 @@ func (m *Metrics) observe(r eventbus.Record) {
 		m.Counter.Inc(CtrReclaimedHolds)
 	case eventbus.Readvertise:
 		m.Counter.Add(CtrReadvertises, int64(ev.Kicked))
+	case eventbus.SetupShed:
+		if ev.Reason == "breaker-open" {
+			m.Counter.Inc(CtrBreakerFastFails)
+		} else {
+			m.Counter.Inc(CtrShedSetups)
+		}
+	case eventbus.DegradeCascade:
+		if ev.Action == "degrade" {
+			m.Counter.Inc(CtrDegradeCascades)
+		}
+	case eventbus.BreakerState:
+		if ev.To == "open" {
+			m.Counter.Inc(CtrBreakerTrips)
+		}
 	}
 }

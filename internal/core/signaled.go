@@ -42,6 +42,13 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		return fmt.Errorf("core: nil completion callback")
 	}
 	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
+	// Overload shedding and the circuit breaker fail fast here, before
+	// any signaling is queued; best-effort requests are exempt.
+	if !req.BestEffort() {
+		if err := m.allowSetup(p); err != nil {
+			return err
+		}
+	}
 	host := m.Env.Hosts[m.Rng.Intn(len(m.Env.Hosts))]
 	route, err := m.Env.Backbone.ShortestPath(host, topology.AirNode(p.Cell))
 	if err != nil {
@@ -67,6 +74,11 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		Discipline: m.Cfg.Discipline,
 		LMax:       m.Cfg.LMax,
 	}, func(r signal.Result) {
+		// Every finished session feeds the circuit breaker's sliding
+		// failure window (and decides its half-open probes).
+		if m.Ovl != nil {
+			m.Ovl.RecordSetupOutcome(r.Err != nil)
+		}
 		if r.Err != nil {
 			m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: r.Err.Error()})
 			done("", fmt.Errorf("%w: %v", ErrRejected, r.Err))

@@ -82,6 +82,19 @@ const (
 	// KindInvariantViolation marks the fault auditor detecting a broken
 	// recovery invariant.
 	KindInvariantViolation
+	// KindOverloadStage marks a cell's overload controller moving between
+	// escalation stages (normal, degrade, shed-static, shed-mobile).
+	KindOverloadStage
+	// KindSetupShed marks a new-connection setup refused by the overload
+	// controller before any signaling started (priority shed, token
+	// bucket, or breaker fast-fail).
+	KindSetupShed
+	// KindDegradeCascade marks one connection forced to b_min (or
+	// restored from it) by an overload degrade cascade.
+	KindDegradeCascade
+	// KindBreakerState marks the signaling circuit breaker changing state
+	// (closed, open, half-open).
+	KindBreakerState
 
 	kindCount int = iota
 )
@@ -113,6 +126,10 @@ var kindNames = [kindCount]string{
 	KindHoldReclaimed:       "hold-reclaimed",
 	KindReadvertise:         "readvertise",
 	KindInvariantViolation:  "invariant-violation",
+	KindOverloadStage:       "overload-stage",
+	KindSetupShed:           "setup-shed",
+	KindDegradeCascade:      "degrade-cascade",
+	KindBreakerState:        "breaker-state",
 }
 
 // String returns the stable wire name used in JSONL traces.
@@ -337,6 +354,45 @@ type InvariantViolation struct {
 	Detail    string `json:"detail"`
 }
 
+// OverloadStage is published when a cell's overload controller changes
+// escalation stage. Util is the EWMA utilization that drove the
+// transition; Queue is the signaling setup-queue depth at sample time.
+type OverloadStage struct {
+	Cell  string  `json:"cell"`
+	From  string  `json:"from"`
+	To    string  `json:"to"`
+	Util  float64 `json:"util"`
+	Queue int     `json:"queue,omitempty"`
+}
+
+// SetupShed is published when the overload controller refuses a new
+// setup before signaling starts. Class is "new-static" or "new-mobile"
+// (handoffs are never shed); Reason is "shed-static", "shed-mobile",
+// "bucket", or "breaker-open".
+type SetupShed struct {
+	Portable string `json:"portable"`
+	Cell     string `json:"cell"`
+	Class    string `json:"class"`
+	Reason   string `json:"reason"`
+}
+
+// DegradeCascade is published for each connection an overload degrade
+// cascade forces to b_min ("degrade") or later releases ("restore").
+type DegradeCascade struct {
+	Conn   string `json:"conn"`
+	Link   string `json:"link"`
+	Action string `json:"action"`
+}
+
+// BreakerState is published when the signaling circuit breaker changes
+// state. Reason explains the trigger ("failure-rate",
+// "retransmit-pressure", "probe-failed", "cooldown", "probe-succeeded").
+type BreakerState struct {
+	From   string `json:"from"`
+	To     string `json:"to"`
+	Reason string `json:"reason"`
+}
+
 func (ConnectionRequested) Kind() Kind { return KindConnectionRequested }
 func (ConnectionAdmitted) Kind() Kind  { return KindConnectionAdmitted }
 func (ConnectionBlocked) Kind() Kind   { return KindConnectionBlocked }
@@ -363,3 +419,7 @@ func (ControlRetransmit) Kind() Kind   { return KindControlRetransmit }
 func (HoldReclaimed) Kind() Kind       { return KindHoldReclaimed }
 func (Readvertise) Kind() Kind         { return KindReadvertise }
 func (InvariantViolation) Kind() Kind  { return KindInvariantViolation }
+func (OverloadStage) Kind() Kind       { return KindOverloadStage }
+func (SetupShed) Kind() Kind           { return KindSetupShed }
+func (DegradeCascade) Kind() Kind      { return KindDegradeCascade }
+func (BreakerState) Kind() Kind        { return KindBreakerState }

@@ -1,0 +1,145 @@
+package overload
+
+import (
+	"armnet/internal/des"
+	"armnet/internal/eventbus"
+)
+
+// BreakerState is the circuit breaker's condition.
+type BreakerState int
+
+const (
+	// BreakerClosed passes setups through and watches the failure rate.
+	BreakerClosed BreakerState = iota
+	// BreakerOpen fails every non-handoff setup fast with ErrBusy.
+	BreakerOpen
+	// BreakerHalfOpen admits a bounded number of trial setups; the
+	// first observed outcome decides between closing and re-tripping.
+	BreakerHalfOpen
+)
+
+var breakerNames = [...]string{"closed", "open", "half-open"}
+
+// String returns the stable wire name used in events and traces.
+func (s BreakerState) String() string {
+	if s < 0 || int(s) >= len(breakerNames) {
+		return "unknown"
+	}
+	return breakerNames[s]
+}
+
+// Breaker is the signaling circuit breaker: when the setup failure rate
+// over a sliding window (or per-sample retransmission pressure) crosses
+// the policy threshold it opens for a cooldown, fails fast, then
+// half-opens and probes before closing. All transitions run on the
+// simulator clock and publish BreakerState events.
+type Breaker struct {
+	sim *des.Simulator
+	bus *eventbus.Bus
+	pol Policy
+
+	state  BreakerState
+	window []bool // ring buffer of outcome failures
+	next   int
+	filled int
+	fails  int
+	probes int
+	gen    int // invalidates stale cooldown timers
+
+	// Trips counts transitions into the open state; FastFails counts
+	// setups refused while open or out of probes.
+	Trips, FastFails int
+}
+
+func newBreaker(sim *des.Simulator, bus *eventbus.Bus, pol Policy) *Breaker {
+	return &Breaker{sim: sim, bus: bus, pol: pol, window: make([]bool, pol.BreakerWindow)}
+}
+
+// State returns the breaker's current condition.
+func (b *Breaker) State() BreakerState { return b.state }
+
+// Allow reports whether a new setup may proceed. While half-open it
+// consumes one probe slot per call.
+func (b *Breaker) Allow() bool {
+	switch b.state {
+	case BreakerOpen:
+		b.FastFails++
+		return false
+	case BreakerHalfOpen:
+		if b.probes <= 0 {
+			b.FastFails++
+			return false
+		}
+		b.probes--
+		return true
+	}
+	return true
+}
+
+// record folds one finished setup outcome into the breaker. While open,
+// late completions of sessions admitted before the trip are ignored.
+func (b *Breaker) record(failed bool) {
+	switch b.state {
+	case BreakerHalfOpen:
+		if failed {
+			b.trip("probe-failed")
+		} else {
+			b.close("probe-succeeded")
+		}
+	case BreakerClosed:
+		if b.filled < len(b.window) {
+			b.filled++
+		} else if b.window[b.next] {
+			b.fails--
+		}
+		b.window[b.next] = failed
+		if failed {
+			b.fails++
+		}
+		b.next = (b.next + 1) % len(b.window)
+		if b.filled == len(b.window) &&
+			float64(b.fails)/float64(len(b.window)) >= b.pol.BreakerFailRate {
+			b.trip("failure-rate")
+		}
+	}
+}
+
+// noteRetransmits trips the breaker on raw retransmission pressure: the
+// detector reports the delta of control retransmissions per sample.
+func (b *Breaker) noteRetransmits(delta int) {
+	if b.state == BreakerClosed && b.pol.BreakerRetrans > 0 && delta >= b.pol.BreakerRetrans {
+		b.trip("retransmit-pressure")
+	}
+}
+
+func (b *Breaker) trip(reason string) {
+	from := b.state
+	b.state = BreakerOpen
+	b.Trips++
+	b.resetWindow()
+	b.gen++
+	gen := b.gen
+	b.bus.Publish(eventbus.BreakerState{From: from.String(), To: "open", Reason: reason})
+	b.sim.After(b.pol.BreakerCooldown, func() {
+		if b.gen != gen || b.state != BreakerOpen {
+			return
+		}
+		b.state = BreakerHalfOpen
+		b.probes = b.pol.BreakerProbes
+		b.bus.Publish(eventbus.BreakerState{From: "open", To: "half-open", Reason: "cooldown"})
+	})
+}
+
+func (b *Breaker) close(reason string) {
+	from := b.state
+	b.state = BreakerClosed
+	b.resetWindow()
+	b.bus.Publish(eventbus.BreakerState{From: from.String(), To: "closed", Reason: reason})
+}
+
+func (b *Breaker) resetWindow() {
+	for i := range b.window {
+		b.window[i] = false
+	}
+	b.next, b.filled, b.fails, b.probes = 0, 0, 0, 0
+}

@@ -1,0 +1,41 @@
+package overload
+
+import (
+	"strings"
+	"testing"
+)
+
+// FuzzParsePolicy feeds arbitrary text to the policy parser. Invariants:
+// the parser never panics, any policy it accepts validates, and the
+// accepted policy survives a String() → ParsePolicy round trip to the
+// identical rendering (String renders every directive canonically).
+func FuzzParsePolicy(f *testing.F) {
+	def := Default()
+	f.Add(def.String())
+	f.Add("sample 2.5\newma 0.5\n")
+	f.Add("degrade 0.8 0.6\nshed-static 0.9 0.7\nshed-mobile 0.95 0.85\n")
+	f.Add("queue 4\nbucket 0.5 3\n")
+	f.Add("breaker 0.25 8 5 1\nbreaker-retrans 50\n")
+	f.Add("# only a comment\n\n")
+	f.Add("sample -1")
+	f.Add("degrade 0.5 0.9")
+	f.Add("ewma NaN")
+	f.Add("breaker 0.5 16 10")
+	f.Fuzz(func(t *testing.T, input string) {
+		p, err := ParsePolicy(strings.NewReader(input))
+		if err != nil {
+			return
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("accepted policy fails validation: %v\n%+v", err, *p)
+		}
+		rendered := p.String()
+		again, err := ParsePolicy(strings.NewReader(rendered))
+		if err != nil {
+			t.Fatalf("accepted policy failed to re-parse: %v\nrendered:\n%s", err, rendered)
+		}
+		if got := again.String(); got != rendered {
+			t.Fatalf("round trip drifted:\n%q\nvs\n%q", got, rendered)
+		}
+	})
+}

@@ -1,0 +1,126 @@
+package overload
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultValidates(t *testing.T) {
+	p := Default()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("default policy invalid: %v", err)
+	}
+}
+
+func TestParsePolicyDirectives(t *testing.T) {
+	spec := `
+# tuned for a small testbed
+sample 2.5
+ewma 0.5
+degrade 0.8 0.6        # enter at 80%, leave below 60%
+shed-static 0.9 0.7
+shed-mobile 0.95 0.85
+queue 4
+bucket 0.5 3
+breaker 0.25 8 5 1
+breaker-retrans 50
+`
+	p, err := ParsePolicy(strings.NewReader(spec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Policy{
+		Sample: 2.5, Alpha: 0.5,
+		DegradeHigh: 0.8, DegradeLow: 0.6,
+		ShedStaticHigh: 0.9, ShedStaticLow: 0.7,
+		ShedMobileHigh: 0.95, ShedMobileLow: 0.85,
+		QueueDepth: 4, BucketRate: 0.5, BucketBurst: 3,
+		BreakerFailRate: 0.25, BreakerWindow: 8,
+		BreakerCooldown: 5, BreakerProbes: 1,
+		BreakerRetrans: 50,
+	}
+	if *p != want {
+		t.Fatalf("parsed %+v, want %+v", *p, want)
+	}
+}
+
+func TestParsePolicyOmittedDirectivesKeepDefaults(t *testing.T) {
+	p, err := ParsePolicy(strings.NewReader("queue 3\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Default()
+	want.QueueDepth = 3
+	if *p != want {
+		t.Fatalf("parsed %+v, want defaults with queue=3 %+v", *p, want)
+	}
+}
+
+func TestParsePolicyEmptyIsDefault(t *testing.T) {
+	p, err := ParsePolicy(strings.NewReader(""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *p != Default() {
+		t.Fatalf("empty spec parsed to %+v, want Default", *p)
+	}
+}
+
+func TestStringRoundTrip(t *testing.T) {
+	p := Default()
+	back, err := ParsePolicy(strings.NewReader(p.String()))
+	if err != nil {
+		t.Fatalf("reparse of String failed: %v\n%s", err, p.String())
+	}
+	if *back != p {
+		t.Fatalf("round trip changed the policy:\nin  %+v\nout %+v", p, *back)
+	}
+	if back.String() != p.String() {
+		t.Fatal("String is not a parse fixpoint")
+	}
+}
+
+func TestParsePolicyErrors(t *testing.T) {
+	cases := []struct {
+		name, spec, want string
+	}{
+		{"unknown directive", "frobnicate 1\n", "line 1"},
+		{"arity", "degrade 0.9\n", "line 1"},
+		{"bad float", "sample banana\n", "line 1"},
+		{"bad int", "queue 1.5\n", "line 1"},
+		{"nan rejected", "sample NaN\n", "not finite"},
+		{"inf rejected", "ewma +Inf\n", "not finite"},
+		{"line number counts comments", "# one\n\nsample banana\n", "line 3"},
+		{"zero sample", "sample 0\n", "sample"},
+		{"alpha above one", "ewma 1.5\n", "ewma"},
+		{"low above high", "degrade 0.8 0.9\n", "degrade"},
+		{"zero low", "degrade 0.8 0\n", "degrade"},
+		{"implausible high", "shed-mobile 11 1\n", "implausible"},
+		{"non-monotone stages", "degrade 0.95 0.9\nshed-static 0.92 0.8\n", "below the previous"},
+		{"negative queue", "queue -1\n", "queue"},
+		{"bucket burst below one", "bucket 2 0.5\n", "burst"},
+		{"breaker failrate zero", "breaker 0 16 10 2\n", "failure rate"},
+		{"breaker window zero", "breaker 0.5 0 10 2\n", "window"},
+		{"breaker cooldown zero", "breaker 0.5 16 0 2\n", "cooldown"},
+		{"breaker probes zero", "breaker 0.5 16 10 0\n", "probes"},
+		{"negative retrans", "breaker-retrans -1\n", "breaker-retrans"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := ParsePolicy(strings.NewReader(tc.spec))
+			if err == nil {
+				t.Fatalf("spec %q parsed without error", tc.spec)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestNilPolicyString(t *testing.T) {
+	var p *Policy
+	if s := p.String(); s != "" {
+		t.Fatalf("nil policy rendered %q", s)
+	}
+}

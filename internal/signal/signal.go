@@ -19,6 +19,7 @@ package signal
 import (
 	"errors"
 	"fmt"
+	"sort"
 
 	"armnet/internal/admission"
 	"armnet/internal/des"
@@ -158,13 +159,32 @@ func NewPlane(sim *des.Simulator, ctl *admission.Controller, opts Options) *Plan
 func (p *Plane) Pending(id topology.LinkID) float64 { return p.pending[id] }
 
 // PendingTotal returns the sum of all tentative holds — zero once every
-// session has drained and every orphan was reclaimed.
+// session has drained and every orphan was reclaimed. Summed in sorted
+// order so the value is identical run to run (float addition is not
+// associative; auditors embed this in reports).
 func (p *Plane) PendingTotal() float64 {
+	ids := make([]topology.LinkID, 0, len(p.pending))
+	for id := range p.pending {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	t := 0.0
-	for _, v := range p.pending {
-		t += v
+	for _, id := range ids {
+		t += p.pending[id]
 	}
 	return t
+}
+
+// InFlight returns the number of setup sessions still in progress — the
+// setup-queue depth the overload controller samples for escalation.
+func (p *Plane) InFlight() int {
+	n := 0
+	for _, s := range p.live {
+		if !s.finished {
+			n++
+		}
+	}
+	return n
 }
 
 // deadlineFor computes the session deadline: the explicit Timeout, or

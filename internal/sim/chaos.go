@@ -156,6 +156,31 @@ func RunChaosSweep(ctx context.Context, cfg ChaosConfig, replications, workers i
 	})
 }
 
+// newChaosAuditor wires the fault-recovery auditor (conservation,
+// leaked holds, orphaned allocs, maxmin re-convergence) to a manager's
+// bus — shared by the chaos and overload harnesses.
+func newChaosAuditor(mgr *core.Manager, gapTol float64) *faults.Auditor {
+	gap := func() float64 {
+		if mgr.Adpt == nil || mgr.Adpt.Proto == nil {
+			return 0
+		}
+		oracle, err := maxmin.WaterFill(mgr.Adpt.Proto.Problem())
+		if err != nil {
+			return math.Inf(1)
+		}
+		return oracle.MaxDiff(mgr.Adpt.Proto.Rates())
+	}
+	aud := &faults.Auditor{
+		Ledger:         mgr.Ledger(),
+		PendingHolds:   mgr.SignalPlane().PendingTotal,
+		LiveConns:      mgr.ConnIDs,
+		ConvergenceGap: gap,
+		GapTol:         gapTol,
+	}
+	aud.Watch(mgr.Bus)
+	return aud
+}
+
 func runChaos(cfg ChaosConfig, traceW io.Writer) (ChaosResult, error) {
 	cfg = cfg.withDefaults()
 	plan, err := cfg.plan()
@@ -178,24 +203,7 @@ func runChaos(cfg ChaosConfig, traceW io.Writer) (ChaosResult, error) {
 		return ChaosResult{}, err
 	}
 	col := newCampusCollector(mgr.Bus)
-	gap := func() float64 {
-		if mgr.Adpt == nil || mgr.Adpt.Proto == nil {
-			return 0
-		}
-		oracle, err := maxmin.WaterFill(mgr.Adpt.Proto.Problem())
-		if err != nil {
-			return math.Inf(1)
-		}
-		return oracle.MaxDiff(mgr.Adpt.Proto.Rates())
-	}
-	aud := &faults.Auditor{
-		Ledger:         mgr.Ledger(),
-		PendingHolds:   mgr.SignalPlane().PendingTotal,
-		LiveConns:      mgr.ConnIDs,
-		ConvergenceGap: gap,
-		GapTol:         cfg.GapTol,
-	}
-	aud.Watch(mgr.Bus)
+	aud := newChaosAuditor(mgr, cfg.GapTol)
 	var rec *eventbus.Recorder
 	if traceW != nil {
 		rec = eventbus.AttachRecorder(mgr.Bus, traceW)
@@ -238,7 +246,7 @@ func runChaos(cfg ChaosConfig, traceW io.Writer) (ChaosResult, error) {
 		Retransmits:      ctr.Get(core.CtrRetransmits),
 		ReclaimedHolds:   ctr.Get(core.CtrReclaimedHolds),
 		ReadvertiseKicks: ctr.Get(core.CtrReadvertises),
-		ConvergenceGap:   gap(),
+		ConvergenceGap:   aud.ConvergenceGap(),
 		Violations:       violations,
 		Events:           simulator.Fired(),
 	}, nil
