@@ -1,11 +1,11 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos overload
+.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos overload obs
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, and the chaos and overload gates.
-ci: vet build race fuzz-short trace-determinism chaos overload
+## replication check, and the chaos, overload and observability gates.
+ci: vet build race fuzz-short trace-determinism chaos overload obs
 
 vet:
 	$(GO) vet ./...
@@ -34,7 +34,7 @@ fuzz:
 	$(GO) test -run '^$$' -fuzz $(FUZZTARGET) -fuzztime $(FUZZTIME) $(FUZZPKG)
 
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' . ./internal/eventbus
+	$(GO) test -bench . -benchmem -run '^$$' . ./internal/eventbus ./internal/obs
 
 ## trace-determinism: the event-stream replication gate — the full JSONL
 ## trace of every reservation mode must be byte-identical at any worker
@@ -56,9 +56,17 @@ overload:
 	$(GO) test -race -run 'Overload' ./internal/sim
 	$(GO) test -race ./internal/overload
 
+## obs: the observability gate — the zero-perturbation guarantee, the
+## instrument/span determinism checks, and the pinned seed-1 snapshot
+## goldens, all under the race detector.
+obs:
+	$(GO) test -race -run 'Obs' ./internal/sim
+	$(GO) test -race ./internal/obs
+
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.
 golden:
 	$(GO) test ./cmd/paperfigs -update
 	$(GO) test ./internal/sim -run TestChaosTraceGolden -update-chaos
 	$(GO) test ./internal/sim -run TestOverloadTraceGolden -update-overload
+	$(GO) test ./internal/sim -run TestObsSnapshotGolden -update-obs

@@ -46,6 +46,7 @@ import (
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
 	"armnet/internal/faults"
+	"armnet/internal/obs"
 	"armnet/internal/overload"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
@@ -403,6 +404,36 @@ func (n *Network) NewDataplane(opts DataplaneOptions) (*Dataplane, error) {
 	}
 	return dataplane.New(n.sim, n.mgr.Env.Backbone, opts)
 }
+
+// Observability vocabulary (see internal/obs for full documentation).
+type (
+	// ObsOptions arms the observability layer via Config.Obs: a nil
+	// pointer costs nothing; a non-nil one subscribes deterministic
+	// sim-time instruments and the lifecycle span builder.
+	ObsOptions = obs.Options
+	// ObsSnapshot is a point-in-time export of every instrument,
+	// renderable as Prometheus text or JSON and mergeable across
+	// replications in replication order.
+	ObsSnapshot = obs.Snapshot
+	// ObsSummary is the paper-§7-style results digest derived from a
+	// snapshot.
+	ObsSummary = obs.Summary
+	// ObsSpan is one exported lifecycle span (setup, handoff, degrade
+	// interval, or the root connection lifecycle).
+	ObsSpan = obs.Span
+	// Observer is the armed observability layer of a network.
+	Observer = obs.Observer
+)
+
+// MergeObsSnapshots folds per-replication snapshots in slice order into
+// one; always pass them in replication order so the merged snapshot is
+// identical at any worker count.
+var MergeObsSnapshots = obs.MergeAll
+
+// Observer returns the network's observability layer, or nil unless
+// Config.Obs was set before NewNetwork. Call Observer().Finish(now) once
+// after the run, then Snapshot() for the instrument export.
+func (n *Network) Observer() *Observer { return n.mgr.Obs }
 
 // Event-stream vocabulary (see internal/eventbus for the full taxonomy).
 type (

@@ -42,6 +42,18 @@
 // breaker-fast-fails counters:
 //
 //	armsim -topology campus -overload-policy default -portables 48
+//
+// The observability flags arm the deterministic instrument and span
+// layer (zero cost and zero perturbation when off): -summary prints the
+// paper-§7-style results digest; -obs-snapshot/-obs-json write the
+// merged instrument snapshot (Prometheus text / JSON, byte-identical at
+// any -parallel value); -spans streams connection lifecycle spans as
+// JSONL; -telemetry-addr serves a live wall-clock endpoint (/metrics,
+// /healthz, /spans tail, /debug/pprof) while the replications run,
+// lingering -telemetry-linger seconds after they finish:
+//
+//	armsim -replications 8 -parallel 4 -summary -obs-snapshot run.prom
+//	armsim -telemetry-addr 127.0.0.1:9090 -replications 16 -telemetry-linger 60
 package main
 
 import (
@@ -51,6 +63,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"time"
 
 	"armnet"
 	"armnet/internal/mobility"
@@ -77,6 +90,13 @@ func main() {
 	signalRetries := flag.Int("signal-retries", 0, "per-hop control-message retransmission budget (0 = default)")
 	replications := flag.Int("replications", 1, "independent scenario replications under derived seeds")
 	parallel := flag.Int("parallel", 1, "worker count for replications (0 = GOMAXPROCS); output is identical at any worker count")
+	obsFlag := flag.Bool("obs", false, "arm the deterministic observability layer (implied by the flags below)")
+	obsSnapshot := flag.String("obs-snapshot", "", "write the merged instrument snapshot as Prometheus text to this file (- for stdout)")
+	obsJSON := flag.String("obs-json", "", "write the merged instrument snapshot as JSON to this file (- for stdout)")
+	spansPath := flag.String("spans", "", "write the JSONL connection-lifecycle spans to this file (- for stdout); replications append in order")
+	summary := flag.Bool("summary", false, "print the paper-§7-style results summary derived from the merged snapshot")
+	telemetryAddr := flag.String("telemetry-addr", "", "serve live wall-clock telemetry on this address (/metrics, /healthz, /spans, /debug/pprof)")
+	telemetryLinger := flag.Float64("telemetry-linger", 0, "keep the telemetry endpoint up this many wall-clock seconds after the run finishes")
 	flag.Parse()
 
 	sc := scenario{
@@ -86,7 +106,13 @@ func main() {
 		mobilityPath: *mobilityTrace, tracePath: *tracePath,
 		faultPath: *faultPlan, overloadPath: *overloadPolicy,
 		sigTimeout: *signalTimeout, sigRetries: *signalRetries,
+		obsSnapshotPath: *obsSnapshot, obsJSONPath: *obsJSON,
+		spansPath: *spansPath, summary: *summary,
+		telemetryAddr: *telemetryAddr, telemetryLinger: *telemetryLinger,
 	}
+	// Any consumer of the observability layer arms it.
+	sc.obs = *obsFlag || sc.obsSnapshotPath != "" || sc.obsJSONPath != "" ||
+		sc.spansPath != "" || sc.summary || sc.telemetryAddr != ""
 	if err := run(sc, *seed, *replications, *parallel, os.Stdout, os.Stderr); err != nil {
 		fmt.Fprintln(os.Stderr, "armsim:", err)
 		os.Exit(1)
@@ -114,6 +140,17 @@ type scenario struct {
 	overload       *armnet.OverloadPolicy // parsed once; controllers copy it
 	sigTimeout     float64
 	sigRetries     int
+
+	// Observability outputs. obs is set when any of them is requested;
+	// an armed layer changes nothing about the simulation (the event
+	// trace stays byte-identical), it only adds exports.
+	obs             bool
+	obsSnapshotPath string
+	obsJSONPath     string
+	spansPath       string
+	summary         bool
+	telemetryAddr   string
+	telemetryLinger float64
 }
 
 // prepare resolves the mode, loads the optional topology spec and replay
@@ -202,10 +239,12 @@ func (sc scenario) buildEnv() (*armnet.Environment, error) {
 }
 
 // replication is one finished trial: the network for reporting plus its
-// optional JSONL event trace.
+// optional JSONL event trace and observability exports.
 type replication struct {
 	net   *armnet.Network
 	trace []byte
+	snap  *armnet.ObsSnapshot
+	spans []byte
 }
 
 // runOnce executes one self-contained replication under the given seed and
@@ -218,6 +257,14 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults, Overload: sc.overload}
 	cfg.Signal.Timeout = sc.sigTimeout
 	cfg.Signal.MaxRetries = sc.sigRetries
+	var spanBuf bytes.Buffer
+	if sc.obs {
+		opts := &armnet.ObsOptions{}
+		if sc.spansPath != "" || sc.telemetryAddr != "" {
+			opts.Spans = &spanBuf
+		}
+		cfg.Obs = opts
+	}
 	net, err := armnet.NewNetwork(env, cfg)
 	if err != nil {
 		return replication{}, err
@@ -272,7 +319,16 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 	if rec != nil && rec.Err() != nil {
 		return replication{}, rec.Err()
 	}
-	return replication{net: net, trace: traceBuf.Bytes()}, nil
+	rep := replication{net: net, trace: traceBuf.Bytes()}
+	if o := net.Observer(); o != nil {
+		o.Finish(sc.duration)
+		if err := o.SpanErr(); err != nil {
+			return replication{}, err
+		}
+		rep.snap = o.Snapshot()
+		rep.spans = spanBuf.Bytes()
+	}
+	return rep, nil
 }
 
 // run executes the scenario (optionally replicated) and prints the report.
@@ -284,15 +340,42 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 		replications = 1
 	}
 	seeds := runner.Seeds(seed, replications)
-	reps, st, err := runner.Map(context.Background(), parallel, replications,
+	prog := runner.NewProgress(replications)
+	ctx := runner.WithProgress(context.Background(), prog)
+	var tel *telemetry
+	if sc.telemetryAddr != "" {
+		var err error
+		tel, err = newTelemetry(sc.telemetryAddr, replications, prog)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(statsOut, "armsim: telemetry on http://%s\n", tel.addr)
+		defer func() {
+			if sc.telemetryLinger > 0 {
+				fmt.Fprintf(statsOut, "armsim: telemetry lingering %.0fs\n", sc.telemetryLinger)
+				time.Sleep(time.Duration(sc.telemetryLinger * float64(time.Second)))
+			}
+			tel.close()
+		}()
+	}
+	reps, st, err := runner.Map(ctx, parallel, replications,
 		func(_ context.Context, i int) (replication, error) {
-			return sc.runOnce(seeds[i])
+			rep, err := sc.runOnce(seeds[i])
+			if err == nil && tel != nil {
+				tel.publish(i, rep.snap, rep.spans)
+			}
+			return rep, err
 		})
 	if err != nil {
 		return err
 	}
 	if sc.tracePath != "" {
 		if err := writeTrace(sc.tracePath, reps, out); err != nil {
+			return err
+		}
+	}
+	if sc.obs {
+		if err := writeObs(sc, reps, out); err != nil {
 			return err
 		}
 	}
@@ -318,6 +401,77 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 	fmt.Fprintf(out, "mean drop rate: %.4f  mean block rate: %.4f\n", dropSum/n, blockSum/n)
 	fmt.Fprintf(statsOut, "armsim: %s\n", st)
 	return nil
+}
+
+// writeObs merges the per-replication snapshots in replication order —
+// deterministic regardless of -parallel — and writes the requested
+// exports.
+func writeObs(sc scenario, reps []replication, stdout io.Writer) error {
+	snaps := make([]*armnet.ObsSnapshot, len(reps))
+	for i, rep := range reps {
+		snaps[i] = rep.snap
+	}
+	merged, err := armnet.MergeObsSnapshots(snaps)
+	if err != nil {
+		return err
+	}
+	if merged == nil {
+		return fmt.Errorf("observability armed but no snapshot was produced")
+	}
+	if sc.obsSnapshotPath != "" {
+		if err := writeFileOrStdout(sc.obsSnapshotPath, merged.Prometheus(), stdout); err != nil {
+			return err
+		}
+	}
+	if sc.obsJSONPath != "" {
+		if err := writeFileOrStdout(sc.obsJSONPath, merged.JSON(), stdout); err != nil {
+			return err
+		}
+	}
+	if sc.spansPath != "" {
+		var joined bytes.Buffer
+		for _, rep := range reps {
+			joined.Write(rep.spans)
+		}
+		if err := writeFileOrStdout(sc.spansPath, joined.Bytes(), stdout); err != nil {
+			return err
+		}
+	}
+	if sc.summary {
+		printSummary(stdout, merged)
+	}
+	return nil
+}
+
+func writeFileOrStdout(path string, data []byte, stdout io.Writer) error {
+	if path == "-" {
+		_, err := stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// printSummary renders the paper-§7-style digest of the merged snapshot.
+func printSummary(out io.Writer, snap *armnet.ObsSnapshot) {
+	s := snap.Summary()
+	fmt.Fprintf(out, "summary (over %d run(s)):\n", snap.Runs)
+	tb := stats.Table{Header: []string{"result", "value"}}
+	tb.AddRow("connection requests", fmt.Sprintf("%.0f", s.Requests))
+	tb.AddRow("admitted", fmt.Sprintf("%.0f", s.Admitted))
+	tb.AddRow("blocked", fmt.Sprintf("%.0f", s.Blocked))
+	tb.AddRow("block rate", fmt.Sprintf("%.4f", s.BlockRate))
+	tb.AddRow("handoffs attempted", fmt.Sprintf("%.0f", s.Handoffs))
+	tb.AddRow("handoffs dropped", fmt.Sprintf("%.0f", s.Dropped))
+	tb.AddRow("drop rate", fmt.Sprintf("%.4f", s.DropRate))
+	tb.AddRow("bandwidth availability", fmt.Sprintf("%.4f", s.Availability))
+	tb.AddRow("adaptations per conn", fmt.Sprintf("%.2f", s.MeanAdaptation))
+	if s.SetupP50 > 0 || s.SetupP99 > 0 {
+		tb.AddRow("setup latency p50/p99", fmt.Sprintf("%.1fms / %.1fms", s.SetupP50*1e3, s.SetupP99*1e3))
+	}
+	if s.InterruptP50 > 0 || s.InterruptP99 > 0 {
+		tb.AddRow("handoff interruption p50/p99", fmt.Sprintf("%.1fms / %.1fms", s.InterruptP50*1e3, s.InterruptP99*1e3))
+	}
+	fmt.Fprint(out, tb.String())
 }
 
 // writeTrace concatenates the per-replication JSONL event traces in

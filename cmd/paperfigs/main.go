@@ -46,6 +46,7 @@ type opts struct {
 	walkBys   int
 	parallel  int
 	tracePath string
+	obsPath   string
 	out       io.Writer
 	statsOut  io.Writer
 }
@@ -78,12 +79,13 @@ func main() {
 	walkBys := flag.Int("walkbys", 400, "figure-5 corridor through-traffic volume")
 	parallel := flag.Int("parallel", 1, "worker count for multi-trial experiments (0 = GOMAXPROCS); output is identical at any worker count")
 	tracePath := flag.String("trace", "", "write the campus experiment's predictive-mode run as a JSONL event trace to this file")
+	obsPath := flag.String("obs-snapshot", "", "write the campus experiment's predictive-mode instrument snapshot as Prometheus text to this file")
 	flag.Parse()
 
 	o := opts{
 		seed: *seed, horizon: *horizon, walkBys: *walkBys, parallel: *parallel,
-		tracePath: *tracePath,
-		out:       os.Stdout, statsOut: os.Stderr,
+		tracePath: *tracePath, obsPath: *obsPath,
+		out: os.Stdout, statsOut: os.Stderr,
 	}
 	names, err := resolveExperiments(*exp)
 	if err != nil {
@@ -270,6 +272,16 @@ func campus(o opts) error {
 			return err
 		}
 		fmt.Fprintf(o.statsOut, "campus: wrote event trace to %s\n", o.tracePath)
+	}
+	if o.obsPath != "" {
+		_, snap, err := armnet.RunCampusObs(campusCfg(o.seed))
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(o.obsPath, snap.Prometheus(), 0o644); err != nil {
+			return err
+		}
+		fmt.Fprintf(o.statsOut, "campus: wrote instrument snapshot to %s\n", o.obsPath)
 	}
 	return nil
 }

@@ -86,7 +86,14 @@ var (
 	RunCampusComparison  = sim.RunCampusComparison
 	// RunCampusTrace is RunCampus plus the run's full JSONL event trace
 	// (one control-plane event per line, stamped with time and sequence).
-	RunCampusTrace    = sim.RunCampusTrace
+	RunCampusTrace = sim.RunCampusTrace
+	// RunCampusObs is RunCampus with the observability layer armed: it
+	// additionally returns the run's deterministic instrument snapshot.
+	RunCampusObs = sim.RunCampusObs
+	// RunCampusObsSweep replicates the observed campus scenario under
+	// derived seeds and merges the snapshots in replication order; the
+	// merged snapshot is identical at any worker count.
+	RunCampusObsSweep = sim.RunCampusObsSweep
 	RunTthSensitivity = sim.RunTthSensitivity
 	RunGrid           = sim.RunGrid
 	RunBounds         = sim.RunBounds

@@ -2,7 +2,6 @@ package core
 
 import (
 	"fmt"
-	"sort"
 
 	"armnet/internal/adapt"
 	"armnet/internal/eventbus"
@@ -10,6 +9,7 @@ import (
 	"armnet/internal/profile"
 	"armnet/internal/qos"
 	"armnet/internal/reserve"
+	"armnet/internal/sortx"
 	"armnet/internal/topology"
 )
 
@@ -54,24 +54,25 @@ func (m *Manager) bookSet(link topology.LinkID, source string, amount float64) {
 	}
 	// Sorted sum: the total feeds admission and excess capacity, and a
 	// map-order float sum drifts in the last ulp between runs.
-	sources := make([]string, 0, len(entries))
-	for s := range entries {
-		sources = append(sources, s)
-	}
-	sort.Strings(sources)
 	total := 0.0
-	for _, s := range sources {
+	for _, s := range sortx.Keys(entries) {
 		total += entries[s]
 	}
 	_ = m.Ctl.Ledger.SetAdvance(link, total)
 }
 
-// clearAdvance removes every per-portable advance reservation of p.
+// clearAdvance removes every per-portable advance reservation of p,
+// along with any outcome-pending prediction note (a withdrawn
+// reservation is a withdrawn prediction; resolvePrediction must run
+// first when a handoff is being scored).
 func (m *Manager) clearAdvance(p *Portable) {
 	source := "portable:" + p.ID
 	for cell := range p.reservedCells {
 		m.bookSet(m.downlink(cell), source, 0)
 		delete(p.reservedCells, cell)
+	}
+	if m.lastPred != nil {
+		delete(m.lastPred, p.ID)
 	}
 }
 
@@ -105,6 +106,9 @@ func (m *Manager) refreshAdvance(p *Portable) {
 		}
 	default: // ModePredictive
 		d := m.Pred.NextCell(p.ID, p.Prev, p.Cell)
+		if m.Obs != nil {
+			m.notePrediction(p, d)
+		}
 		if d.Action == predict.ActionReserve {
 			place(d.Target)
 		}
@@ -325,12 +329,7 @@ func (m *Manager) adjustPools(cell topology.CellID) {
 
 func (m *Manager) portablesInCell(cell topology.CellID) []*Portable {
 	var out []*Portable
-	ids := make([]string, 0, len(m.portables))
-	for id := range m.portables {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range sortx.Keys(m.portables) {
 		if p := m.portables[id]; p.Cell == cell {
 			out = append(out, p)
 		}

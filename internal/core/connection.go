@@ -199,6 +199,10 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 	// mirroring the base station's update message.
 	m.Pred.RecordHandoff(profileHandoff(p, to, m.Sim.Now()))
 
+	// Score the pending §6 prediction against the actual destination —
+	// before clearAdvance discards the note.
+	m.resolvePrediction(p, to)
+
 	// Clear this portable's old advance reservations (including the one
 	// in `to`, which the re-admission below consumes via the ledger).
 	m.clearAdvance(p)

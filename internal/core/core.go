@@ -13,7 +13,6 @@ package core
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"armnet/internal/adapt"
 	"armnet/internal/admission"
@@ -21,6 +20,7 @@ import (
 	"armnet/internal/eventbus"
 	"armnet/internal/faults"
 	"armnet/internal/maxmin"
+	"armnet/internal/obs"
 	"armnet/internal/overload"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
@@ -29,6 +29,7 @@ import (
 	"armnet/internal/reserve"
 	"armnet/internal/sched"
 	"armnet/internal/signal"
+	"armnet/internal/sortx"
 	"armnet/internal/topology"
 	"armnet/internal/wireless"
 )
@@ -103,6 +104,13 @@ type Config struct {
 	// policy costs nothing — no timers, no events, byte-identical
 	// traces.
 	Overload *overload.Policy
+	// Obs, when non-nil, arms the deterministic observability layer:
+	// lifecycle span reconstruction and sim-time instruments, exported
+	// as snapshots (Manager.Obs). Nil costs nothing — no subscription,
+	// no samples, byte-identical traces; and because the observer never
+	// publishes or draws randomness, enabling it leaves the event trace
+	// byte-identical too.
+	Obs *obs.Options
 }
 
 func (c Config) withDefaults() Config {
@@ -139,12 +147,7 @@ type Portable struct {
 
 // Conns returns the portable's connection IDs, sorted.
 func (p *Portable) Conns() []string {
-	out := make([]string, 0, len(p.conns))
-	for id := range p.conns {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
+	return sortx.Keys(p.conns)
 }
 
 // Connection is one admitted end-to-end connection. Connections are
@@ -183,6 +186,8 @@ type Manager struct {
 	Inj *faults.Injector
 	// Ovl is the armed overload controller; nil without a policy.
 	Ovl *overload.Controller
+	// Obs is the armed observability layer; nil without Config.Obs.
+	Obs *obs.Observer
 
 	portables map[string]*Portable
 	conns     map[string]*Connection
@@ -199,6 +204,9 @@ type Manager struct {
 	// channels registers attached wireless capacity processes per cell,
 	// so blackout faults can reach them.
 	channels map[topology.CellID]*wireless.CapacityProcess
+	// lastPred holds each portable's outcome-pending prediction; nil
+	// unless observability is armed.
+	lastPred map[string]predNote
 }
 
 type meetingState struct {
@@ -299,6 +307,12 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 			return nil, fmt.Errorf("core: %w", err)
 		}
 		m.armOverload(*cfg.Overload)
+	}
+	// Observability (obs.go): armed after every publishing layer and
+	// built-in subscriber is wired, so the observer is the last
+	// subscriber and sees the same stream the trace recorder does.
+	if cfg.Obs != nil {
+		m.armObs(*cfg.Obs)
 	}
 	// Schedule the plan's timed component faults, executed through the
 	// manager's own Driver implementation (faultdriver.go).

@@ -1,0 +1,37 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCtrNamesExhaustive pins the counter-name table against the enum:
+// adding a Ctr without a ctrNames entry silently produces "" and an
+// unreadable report row, so every value must have a unique, well-formed
+// name.
+func TestCtrNamesExhaustive(t *testing.T) {
+	seen := make(map[string]Ctr, ctrCount)
+	for c := 0; c < ctrCount; c++ {
+		name := Ctr(c).String()
+		if name == "" {
+			t.Errorf("Ctr(%d) has no name entry", c)
+			continue
+		}
+		if strings.HasPrefix(name, "Ctr(") {
+			t.Errorf("Ctr(%d) renders as fallback %q", c, name)
+		}
+		if name != strings.TrimSpace(name) {
+			t.Errorf("Ctr(%d) name %q has surrounding whitespace", c, name)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Ctr(%d) and Ctr(%d) share the name %q", c, prev, name)
+		}
+		seen[name] = Ctr(c)
+	}
+	// Out-of-range values must fall back, not panic or alias a real name.
+	for _, bad := range []Ctr{-1, Ctr(ctrCount), Ctr(ctrCount + 7)} {
+		if got := bad.String(); !strings.HasPrefix(got, "Ctr(") {
+			t.Errorf("out-of-range %d renders %q, want Ctr(...) fallback", int(bad), got)
+		}
+	}
+}

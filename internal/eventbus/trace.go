@@ -2,6 +2,7 @@ package eventbus
 
 import (
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -21,14 +22,23 @@ type traceLine struct {
 // Encoding is deterministic: the envelope and all event payloads are
 // structs, so json.Marshal emits fields in declaration order, and float
 // formatting uses Go's shortest-representation rule.
+//
+// The recorder also audits the stream it is asked to serialize: the
+// sequence numbers it observes must increase by exactly one after the
+// first record, since a gap or regression means the trace on disk is not
+// the stream the bus published (a second recorder, a re-attached bus, or
+// records replayed out of order). Violations latch an error like write
+// failures do.
 type Recorder struct {
-	w   io.Writer
-	err error
+	w       io.Writer
+	err     error
+	lastSeq uint64
+	started bool
 }
 
 // AttachRecorder subscribes a new JSONL recorder for every event on the
-// bus and returns it. The first write error is latched and stops further
-// output; check Err after the run.
+// bus and returns it. The first write or sequence error is latched and
+// stops further output; check Err after the run.
 func AttachRecorder(bus *Bus, w io.Writer) *Recorder {
 	r := &Recorder{w: w}
 	bus.Subscribe(r.observe)
@@ -39,12 +49,21 @@ func (r *Recorder) observe(rec Record) {
 	if r.err != nil {
 		return
 	}
-	line, err := json.Marshal(traceLine{Seq: rec.Seq, Time: rec.Time, Type: rec.Event.Kind().String(), Ev: rec.Event})
-	if err == nil {
-		line = append(line, '\n')
-		_, err = r.w.Write(line)
+	if r.started && rec.Seq != r.lastSeq+1 {
+		r.err = fmt.Errorf("eventbus: trace sequence broken: observed seq %d after %d", rec.Seq, r.lastSeq)
+		return
 	}
-	r.err = err
+	r.started = true
+	r.lastSeq = rec.Seq
+	line, err := json.Marshal(traceLine{Seq: rec.Seq, Time: rec.Time, Type: rec.Event.Kind().String(), Ev: rec.Event})
+	if err != nil {
+		r.err = fmt.Errorf("eventbus: trace encode: %w", err)
+		return
+	}
+	line = append(line, '\n')
+	if _, err := r.w.Write(line); err != nil {
+		r.err = fmt.Errorf("eventbus: trace write: %w", err)
+	}
 }
 
 // Err reports the first error encountered while writing the trace.

@@ -3,10 +3,10 @@ package maxmin
 import (
 	"fmt"
 	"math"
-	"sort"
 
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
+	"armnet/internal/sortx"
 )
 
 // Deliver decides the fate of one control-packet hop: conn is the
@@ -81,12 +81,7 @@ type linkState struct {
 }
 
 func (ls *linkState) connIDs() []string {
-	out := make([]string, 0, len(ls.recorded))
-	for id := range ls.recorded {
-		out = append(out, id)
-	}
-	sort.Strings(out)
-	return out
+	return sortx.Keys(ls.recorded)
 }
 
 // advertised computes μ_l from the current recorded rates.
@@ -203,11 +198,7 @@ func (pr *Protocol) readvertise() {
 	if tol <= 0 {
 		tol = 1e-9
 	}
-	ids := make([]string, 0, len(pr.conns))
-	for id := range pr.conns {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
+	ids := sortx.Keys(pr.conns)
 	kicked := 0
 	for _, id := range ids {
 		if pr.active[id] {
@@ -327,16 +318,31 @@ func (pr *Protocol) Problem() Problem {
 	for name, ls := range pr.links {
 		p.Capacity[name] = ls.capacity
 	}
-	ids := make([]string, 0, len(pr.conns))
-	for id := range pr.conns {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range sortx.Keys(pr.conns) {
 		c := pr.conns[id]
 		p.Conns = append(p.Conns, Conn{ID: id, Path: append([]string(nil), c.path...), Demand: c.demand})
 	}
 	return p
+}
+
+// LinkBottleneck reports the size of one link's bottleneck set M(l).
+type LinkBottleneck struct {
+	Link string
+	Size int
+}
+
+// BottleneckSizes exports the current per-link |M(l)| under the refined
+// protocol, sorted by link ID; links whose bottleneck set is empty are
+// skipped. This is a read-only observability tap — it never mutates
+// protocol state.
+func (pr *Protocol) BottleneckSizes() []LinkBottleneck {
+	var out []LinkBottleneck
+	for _, name := range sortx.Keys(pr.links) {
+		if n := len(pr.links[name].mSet); n > 0 {
+			out = append(out, LinkBottleneck{Link: name, Size: n})
+		}
+	}
+	return out
 }
 
 // TriggerCapacityChange models the switch owning the link detecting a new
@@ -391,12 +397,7 @@ func (pr *Protocol) TriggerCapacityChange(link string, capacity float64) (int, e
 // connection setup/teardown, where the paper treats admission as carrying
 // the stamped rate in its forward pass.
 func (pr *Protocol) KickAll() {
-	ids := make([]string, 0, len(pr.conns))
-	for id := range pr.conns {
-		ids = append(ids, id)
-	}
-	sort.Strings(ids)
-	for _, id := range ids {
+	for _, id := range sortx.Keys(pr.conns) {
 		pr.startSession(id)
 	}
 }
@@ -628,12 +629,7 @@ func (pr *Protocol) cascade(id string) {
 			}
 		}
 	}
-	ids := make([]string, 0, len(targets))
-	for t := range targets {
-		ids = append(ids, t)
-	}
-	sort.Strings(ids)
-	for _, t := range ids {
+	for _, t := range sortx.Keys(targets) {
 		pr.startSession(t)
 	}
 }

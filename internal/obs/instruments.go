@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"strings"
+
+	"armnet/internal/sortx"
+)
+
+// The instrument model is deliberately small and allocation-conscious:
+// three kinds (counter, gauge, fixed-bucket histogram), each identified
+// by a name plus an optional label set. Hot-path callers hold instrument
+// pointers; the registry's map lookup happens once per (name, labels)
+// pair. Everything is sim-time and single-threaded — the observer runs
+// inside the deterministic event loop, so there are no atomics and no
+// wall-clock reads anywhere.
+
+// seriesKey renders the canonical identity of a series: the name alone,
+// or name{k1="v1",k2="v2"} with keys sorted. The rendered key doubles as
+// the Prometheus sample line prefix and as the deterministic sort key of
+// every export.
+func seriesKey(name string, labels map[string]string) string {
+	if len(labels) == 0 {
+		return name
+	}
+	var b strings.Builder
+	b.WriteString(name)
+	b.WriteByte('{')
+	for i, k := range sortx.Keys(labels) {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(k)
+		b.WriteString(`="`)
+		b.WriteString(labels[k])
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+type counter struct {
+	name   string
+	labels map[string]string
+	v      float64
+}
+
+func (c *counter) add(d float64) { c.v += d }
+func (c *counter) inc()          { c.v++ }
+
+type gauge struct {
+	name   string
+	labels map[string]string
+	v      float64
+}
+
+func (g *gauge) set(v float64) { g.v = v }
+
+// histogram is a fixed-boundary histogram: bounds are upper bucket edges
+// in ascending order, counts has len(bounds)+1 entries (the last is the
+// overflow bucket). Fixed boundaries are what make cross-replication
+// merges well-defined.
+type histogram struct {
+	name   string
+	labels map[string]string
+	bounds []float64
+	counts []uint64
+	sum    float64
+	n      uint64
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.sum += v
+	h.n++
+}
+
+// registry owns every instrument of one observer. Lookups create on
+// first use, so only series that actually fired appear in snapshots
+// (with the fixed core set pre-registered by the observer so the
+// snapshot shape is stable across runs of the same scenario family).
+type registry struct {
+	counters map[string]*counter
+	gauges   map[string]*gauge
+	hists    map[string]*histogram
+}
+
+func newRegistry() *registry {
+	return &registry{
+		counters: make(map[string]*counter),
+		gauges:   make(map[string]*gauge),
+		hists:    make(map[string]*histogram),
+	}
+}
+
+func copyLabels(labels map[string]string) map[string]string {
+	if len(labels) == 0 {
+		return nil
+	}
+	out := make(map[string]string, len(labels))
+	for k, v := range labels {
+		out[k] = v
+	}
+	return out
+}
+
+func (r *registry) counter(name string, labels map[string]string) *counter {
+	k := seriesKey(name, labels)
+	c := r.counters[k]
+	if c == nil {
+		c = &counter{name: name, labels: copyLabels(labels)}
+		r.counters[k] = c
+	}
+	return c
+}
+
+func (r *registry) gauge(name string, labels map[string]string) *gauge {
+	k := seriesKey(name, labels)
+	g := r.gauges[k]
+	if g == nil {
+		g = &gauge{name: name, labels: copyLabels(labels)}
+		r.gauges[k] = g
+	}
+	return g
+}
+
+func (r *registry) histogram(name string, labels map[string]string, bounds []float64) *histogram {
+	k := seriesKey(name, labels)
+	h := r.hists[k]
+	if h == nil {
+		h = &histogram{
+			name:   name,
+			labels: copyLabels(labels),
+			bounds: bounds,
+			counts: make([]uint64, len(bounds)+1),
+		}
+		r.hists[k] = h
+	}
+	return h
+}

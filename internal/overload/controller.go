@@ -32,6 +32,12 @@ const (
 
 var stageNames = [...]string{"normal", "degrade", "shed-static", "shed-mobile"}
 
+// StageNames returns the wire names of every escalation stage in order —
+// the label vocabulary of the dwell-time instruments.
+func StageNames() []string {
+	return append([]string(nil), stageNames[:]...)
+}
+
 // String returns the stable wire name used in events and traces.
 func (s Stage) String() string {
 	if s < 0 || int(s) >= len(stageNames) {

@@ -65,6 +65,47 @@ func (s Stats) String() string {
 // the context was canceled (directly or by an earlier trial's failure).
 var ErrCanceled = errors.New("runner: trial canceled")
 
+// Progress is an optional live trial counter for long sweeps: carry one
+// through the context with WithProgress and Map will mark every finished
+// trial on it. Readers (a telemetry endpoint, a status line) poll Done
+// concurrently with the running sweep. Progress never influences the
+// trials themselves, so it cannot perturb replication.
+type Progress struct {
+	total int64
+	done  atomic.Int64
+}
+
+// NewProgress returns a counter expecting `total` trials.
+func NewProgress(total int) *Progress {
+	return &Progress{total: int64(total)}
+}
+
+// Done returns how many trials have finished (successfully or not).
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Total returns the expected trial count.
+func (p *Progress) Total() int64 { return p.total }
+
+// mark records one finished trial.
+func (p *Progress) mark() {
+	if p != nil {
+		p.done.Add(1)
+	}
+}
+
+type progressKey struct{}
+
+// WithProgress attaches a progress counter to the context for Map to mark.
+func WithProgress(ctx context.Context, p *Progress) context.Context {
+	return context.WithValue(ctx, progressKey{}, p)
+}
+
+// progressFrom extracts the counter, nil when absent.
+func progressFrom(ctx context.Context) *Progress {
+	p, _ := ctx.Value(progressKey{}).(*Progress)
+	return p
+}
+
 // Map runs fn(ctx, i) for every trial i in [0, trials) on a pool of
 // workers and returns the results in trial order.
 //
@@ -102,6 +143,7 @@ func Map[T any](ctx context.Context, workers, trials int, fn func(ctx context.Co
 
 	poolCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
+	prog := progressFrom(ctx)
 
 	runTrial := func(i int) time.Duration {
 		if poolCtx.Err() != nil {
@@ -111,6 +153,7 @@ func Map[T any](ctx context.Context, workers, trials int, fn func(ctx context.Co
 		t0 := time.Now()
 		r, err := fn(poolCtx, i)
 		d := time.Since(t0)
+		prog.mark()
 		if err != nil {
 			errs[i] = fmt.Errorf("trial %d: %w", i, err)
 			cancel()

@@ -167,3 +167,50 @@ func TestStatsSpeedupAndString(t *testing.T) {
 		t.Fatalf("stats string %q", got)
 	}
 }
+
+func TestProgressMarksEveryTrial(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		p := NewProgress(12)
+		ctx := WithProgress(context.Background(), p)
+		if _, _, err := Map(ctx, workers, 12, func(_ context.Context, i int) (int, error) {
+			return i, nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if p.Done() != 12 || p.Total() != 12 {
+			t.Fatalf("workers=%d: progress %d/%d, want 12/12", workers, p.Done(), p.Total())
+		}
+	}
+}
+
+func TestProgressCountsFailedTrialsAndSkips(t *testing.T) {
+	p := NewProgress(8)
+	ctx := WithProgress(context.Background(), p)
+	boom := errors.New("boom")
+	_, st, err := Map(ctx, 1, 8, func(_ context.Context, i int) (int, error) {
+		if i == 2 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	// Serial pool: trials 0..2 ran (marked), 3..7 were skipped after the
+	// cancel and must not be marked as done.
+	if p.Done() != 3 {
+		t.Fatalf("progress done = %d, want 3 (skipped trials are not done)", p.Done())
+	}
+	if st.Failed != 6 {
+		t.Fatalf("failed = %d, want 6", st.Failed)
+	}
+}
+
+func TestMapWithoutProgressStillRuns(t *testing.T) {
+	got, _, err := Map(context.Background(), 2, 4, func(_ context.Context, i int) (int, error) {
+		return i + 1, nil
+	})
+	if err != nil || !reflect.DeepEqual(got, []int{1, 2, 3, 4}) {
+		t.Fatalf("got %v, err %v", got, err)
+	}
+}

@@ -10,6 +10,7 @@ import (
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
 	"armnet/internal/mobility"
+	"armnet/internal/obs"
 	"armnet/internal/predict"
 	"armnet/internal/profile"
 	"armnet/internal/qos"
@@ -40,6 +41,15 @@ type CampusConfig struct {
 	BMin, BMax float64
 	// Tth overrides the static/mobile threshold (0 = manager default).
 	Tth float64
+	// Obs arms the observability layer: the run returns a deterministic
+	// instrument snapshot alongside its result. Off by default — the
+	// disabled path constructs nothing and perturbs nothing, so traces
+	// stay byte-identical either way.
+	Obs bool
+	// Spans receives the JSONL lifecycle-span export when Obs is set.
+	// Single-run only: sweeps run trials concurrently, so give each trial
+	// its own writer (or leave nil).
+	Spans io.Writer
 }
 
 func (c CampusConfig) withDefaults() CampusConfig {
@@ -156,7 +166,8 @@ func (c *campusCollector) result(mode core.ReservationMode) CampusResult {
 
 // RunCampus executes the integrated scenario and returns its metrics.
 func RunCampus(cfg CampusConfig) (CampusResult, error) {
-	return runCampus(cfg, nil)
+	res, _, err := runCampus(cfg, nil)
+	return res, err
 }
 
 // RunCampusTrace is RunCampus with a JSONL event trace of the full run:
@@ -164,20 +175,31 @@ func RunCampus(cfg CampusConfig) (CampusResult, error) {
 // The trace is byte-identical for a given config at any worker count.
 func RunCampusTrace(cfg CampusConfig) (CampusResult, []byte, error) {
 	var buf bytes.Buffer
-	res, err := runCampus(cfg, &buf)
+	res, _, err := runCampus(cfg, &buf)
 	return res, buf.Bytes(), err
 }
 
-func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, error) {
+// RunCampusObs runs the scenario with the observability layer armed and
+// returns the deterministic instrument snapshot alongside the metrics.
+func RunCampusObs(cfg CampusConfig) (CampusResult, *obs.Snapshot, error) {
+	cfg.Obs = true
+	return runCampus(cfg, nil)
+}
+
+func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, *obs.Snapshot, error) {
 	cfg = cfg.withDefaults()
 	env, err := topology.BuildCampus()
 	if err != nil {
-		return CampusResult{}, err
+		return CampusResult{}, nil, err
 	}
 	simulator := des.New()
-	mgr, err := core.NewManager(simulator, env, core.Config{Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth})
+	coreCfg := core.Config{Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth}
+	if cfg.Obs {
+		coreCfg.Obs = &obs.Options{Spans: cfg.Spans}
+	}
+	mgr, err := core.NewManager(simulator, env, coreCfg)
 	if err != nil {
-		return CampusResult{}, err
+		return CampusResult{}, nil, err
 	}
 	col := newCampusCollector(mgr.Bus)
 	var rec *eventbus.Recorder
@@ -190,7 +212,7 @@ func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, error) {
 	}
 	trace, err := mobility.RandomWalk(env.Universe, names, cfg.Dwell, cfg.Duration, randx.New(cfg.Seed+1))
 	if err != nil {
-		return CampusResult{}, err
+		return CampusResult{}, nil, err
 	}
 	req := qos.Request{
 		Bandwidth: qos.Bounds{Min: cfg.BMin, Max: cfg.BMax},
@@ -207,12 +229,58 @@ func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, error) {
 		_ = mgr.HandoffPortable(mv.Portable, mv.To)
 	})
 	if err := simulator.RunUntil(cfg.Duration); err != nil {
-		return CampusResult{}, err
+		return CampusResult{}, nil, err
 	}
 	if rec != nil && rec.Err() != nil {
-		return CampusResult{}, rec.Err()
+		return CampusResult{}, nil, rec.Err()
 	}
-	return col.result(cfg.Mode), nil
+	var snap *obs.Snapshot
+	if mgr.Obs != nil {
+		mgr.Obs.Finish(cfg.Duration)
+		if err := mgr.Obs.SpanErr(); err != nil {
+			return CampusResult{}, nil, err
+		}
+		snap = mgr.Obs.Snapshot()
+	}
+	return col.result(cfg.Mode), snap, nil
+}
+
+// RunCampusObsSweep runs `replications` independent observed campus trials
+// with per-replication seeds derived from cfg.Seed (replication 0 keeps
+// cfg.Seed) and merges their snapshots in replication order. Because each
+// trial is deterministic and the merge order is fixed, the merged snapshot
+// is byte-identical at any worker count.
+func RunCampusObsSweep(ctx context.Context, cfg CampusConfig, replications, workers int) ([]CampusResult, *obs.Snapshot, error) {
+	if replications <= 0 {
+		replications = 1
+	}
+	cfg.Obs = true
+	cfg.Spans = nil // a shared writer would race across concurrent trials
+	seeds := runner.Seeds(cfg.Seed, replications)
+	type trial struct {
+		res  CampusResult
+		snap *obs.Snapshot
+	}
+	trials, _, err := runner.Map(ctx, workers, replications, func(_ context.Context, i int) (trial, error) {
+		c := cfg
+		c.Seed = seeds[i]
+		res, snap, err := runCampus(c, nil)
+		return trial{res: res, snap: snap}, err
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	results := make([]CampusResult, len(trials))
+	snaps := make([]*obs.Snapshot, len(trials))
+	for i, tr := range trials {
+		results[i] = tr.res
+		snaps[i] = tr.snap
+	}
+	merged, err := obs.MergeAll(snaps)
+	if err != nil {
+		return nil, nil, err
+	}
+	return results, merged, nil
 }
 
 // TthPoint is one sample of the T_th sensitivity sweep.

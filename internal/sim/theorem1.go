@@ -8,6 +8,7 @@ import (
 	"armnet/internal/maxmin"
 	"armnet/internal/randx"
 	"armnet/internal/runner"
+	"armnet/internal/sortx"
 )
 
 // Theorem1Config drives the convergence study of the event-driven
@@ -118,7 +119,7 @@ func runTheorem1Instance(cfg Theorem1Config, seed int64) (theorem1Trial, error) 
 	p := randomMaxminProblem(rng, 1+rng.Intn(cfg.MaxLinks), 1+rng.Intn(cfg.MaxConns))
 	simulator := des.New()
 	pr := maxmin.NewProtocol(simulator, maxmin.ProtocolOptions{Refined: cfg.Refined})
-	for _, l := range sortedKeys(p.Capacity) {
+	for _, l := range sortx.Keys(p.Capacity) {
 		if err := pr.AddLink(l, p.Capacity[l]); err != nil {
 			return theorem1Trial{}, err
 		}
@@ -133,7 +134,7 @@ func runTheorem1Instance(cfg Theorem1Config, seed int64) (theorem1Trial, error) 
 		return theorem1Trial{}, err
 	}
 	if cfg.Perturb {
-		links := sortedKeys(p.Capacity)
+		links := sortx.Keys(p.Capacity)
 		pick := links[rng.Intn(len(links))]
 		newCap := p.Capacity[pick] * (0.5 + rng.Float64())
 		p.Capacity[pick] = newCap
@@ -190,17 +191,4 @@ func randomMaxminProblem(rng *randx.Rand, nLinks, nConns int) maxmin.Problem {
 		p.Conns = append(p.Conns, maxmin.Conn{ID: fmt.Sprintf("c%d", i), Path: path, Demand: demand})
 	}
 	return p
-}
-
-func sortedKeys(m map[string]float64) []string {
-	out := make([]string, 0, len(m))
-	for k := range m {
-		out = append(out, k)
-	}
-	for i := 1; i < len(out); i++ {
-		for j := i; j > 0 && out[j] < out[j-1]; j-- {
-			out[j], out[j-1] = out[j-1], out[j]
-		}
-	}
-	return out
 }

@@ -1,0 +1,24 @@
+// Package sortx holds the repository's sorted-iteration helpers.
+//
+// Go map iteration order is randomized, and two classes of code here must
+// never see that randomness: anything that sums floats (addition is not
+// associative, so the last ulp drifts between runs) and anything that
+// feeds reported output (event traces, snapshots, tables must be
+// byte-identical at any worker count). The rule is: iterate maps through
+// Keys, never directly, whenever the loop's effect is observable.
+package sortx
+
+import (
+	"cmp"
+	"sort"
+)
+
+// Keys returns the map's keys in ascending order.
+func Keys[K cmp.Ordered, V any](m map[K]V) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
