@@ -1,11 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench golden trace-determinism chaos overload obs
+.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, and the chaos, overload and observability gates.
-ci: vet build race fuzz-short trace-determinism chaos overload obs
+## replication check, the chaos, overload and observability gates, and
+## the bench-capture smoke check.
+ci: vet build race fuzz-short trace-determinism chaos overload obs bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -33,8 +34,28 @@ FUZZPKG ?= ./internal/maxmin
 fuzz:
 	$(GO) test -run '^$$' -fuzz $(FUZZTARGET) -fuzztime $(FUZZTIME) $(FUZZPKG)
 
+## bench: run every benchmark in the repository, in every package that
+## has one. Timings scroll by; use bench-capture to record them.
+BENCHPKGS = . ./internal/admission ./internal/dataplane ./internal/des \
+	./internal/eventbus ./internal/maxmin ./internal/obs \
+	./internal/reserve ./internal/sched
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' . ./internal/eventbus ./internal/obs
+	$(GO) test -bench . -benchmem -run '^$$' $(BENCHPKGS)
+
+## bench-capture: run the fixed-iteration benchmark suite per area and
+## append one trajectory entry to each BENCH_<area>.json at the repo
+## root, printing a comparison against the previous entry (>20% moves
+## are flagged). Set NOTE to label the entry.
+NOTE ?=
+bench-capture:
+	$(GO) run ./cmd/benchcap -root . -note '$(NOTE)'
+
+## bench-smoke: health check for the capture harness itself — one
+## iteration per benchmark, parsed by benchx, written to a throwaway
+## directory. No timing assertions; it only proves the harness and
+## every captured benchmark still build, run and parse.
+bench-smoke:
+	$(GO) run ./cmd/benchcap -smoke
 
 ## trace-determinism: the event-stream replication gate — the full JSONL
 ## trace of every reservation mode must be byte-identical at any worker

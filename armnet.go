@@ -287,7 +287,7 @@ func (n *Network) RunUntil(horizon float64) error { return n.sim.RunUntil(horizo
 
 // Schedule runs fn at the given simulated time — the hook for driving
 // scenario events (mobility, capacity changes, workload).
-func (n *Network) Schedule(at float64, fn func()) { n.sim.At(at, fn) }
+func (n *Network) Schedule(at float64, fn func()) { n.sim.Post(at, fn) }
 
 // PlacePortable introduces a portable in a cell.
 func (n *Network) PlacePortable(id string, cell CellID) error {

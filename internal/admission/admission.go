@@ -122,7 +122,7 @@ func NewController(lg *Ledger) *Controller { return &Controller{Ledger: lg} }
 func (c *Controller) Admit(t Test) (Result, error) {
 	res, err := c.admit(t)
 	if err == nil {
-		c.Bus.Publish(eventbus.AdmissionDecision{
+		eventbus.Pub(c.Bus, eventbus.AdmissionDecision{
 			Conn:      t.ConnID,
 			Class:     t.Kind.String(),
 			Admitted:  res.Admitted,

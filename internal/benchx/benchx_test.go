@@ -1,0 +1,230 @@
+package benchx
+
+import (
+	"math"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: armnet/internal/des
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkScheduleAndFire 	  100000	       102.7 ns/op	      48 B/op	       1 allocs/op
+BenchmarkHeapChurn-8     	  100000	       342.5 ns/op	      48 B/op	       1 allocs/op
+BenchmarkFigure2LoungeActivity-4   	     100	  12345 ns/op	        12.00 peak-handoffs/slot	      24 B/op	       2 allocs/op
+PASS
+ok  	armnet/internal/des	0.062s
+`
+
+func TestParseSampleOutput(t *testing.T) {
+	p, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Pkg != "armnet/internal/des" {
+		t.Errorf("pkg = %q", p.Pkg)
+	}
+	if !strings.Contains(p.CPU, "Xeon") {
+		t.Errorf("cpu = %q", p.CPU)
+	}
+	want := []Result{
+		{Name: "BenchmarkScheduleAndFire", Iters: 100000, NsPerOp: 102.7, BytesPerOp: 48, AllocsPerOp: 1},
+		{Name: "BenchmarkHeapChurn", Procs: 8, Iters: 100000, NsPerOp: 342.5, BytesPerOp: 48, AllocsPerOp: 1},
+		{Name: "BenchmarkFigure2LoungeActivity", Procs: 4, Iters: 100, NsPerOp: 12345,
+			BytesPerOp: 24, AllocsPerOp: 2, Metrics: map[string]float64{"peak-handoffs/slot": 12}},
+	}
+	if !reflect.DeepEqual(p.Results, want) {
+		t.Errorf("results mismatch:\n got %+v\nwant %+v", p.Results, want)
+	}
+}
+
+func TestParseCustomMetricsOnly(t *testing.T) {
+	out := "BenchmarkTheorem1Convergence-2   	      50	  98765.4 ns/op	        33.60 messages/instance\nPASS\n"
+	p, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := p.Results[0]
+	if r.Metrics["messages/instance"] != 33.6 || r.NsPerOp != 98765.4 {
+		t.Errorf("bad parse: %+v", r)
+	}
+}
+
+func TestParseFailedBuild(t *testing.T) {
+	out := `# armnet/internal/des [armnet/internal/des.test]
+internal/des/des.go:10:2: undefined: frobnicate
+FAIL	armnet/internal/des [build failed]
+FAIL
+`
+	if _, err := Parse(strings.NewReader(out)); err == nil {
+		t.Fatal("want error on build failure")
+	} else if !strings.Contains(err.Error(), "build failed") {
+		t.Errorf("error should quote the FAIL line: %v", err)
+	}
+}
+
+func TestParseFailedBenchmark(t *testing.T) {
+	out := `BenchmarkTable2AdmissionWFQ 	  100	  5000 ns/op
+--- FAIL: BenchmarkTable2AdmissionRCSP
+    bench_test.go:30: admission failed
+FAIL
+exit status 1
+FAIL	armnet	0.5s
+`
+	if _, err := Parse(strings.NewReader(out)); err == nil {
+		t.Fatal("want error when a benchmark failed mid-run")
+	}
+}
+
+func TestParseEmptyOutput(t *testing.T) {
+	out := "goos: linux\nPASS\nok  	armnet	0.001s\n"
+	if _, err := Parse(strings.NewReader(out)); err == nil {
+		t.Fatal("want error when no benchmark matched")
+	}
+}
+
+func TestMergeResultsWeightedMeanAndIdempotence(t *testing.T) {
+	in := []Result{
+		{Name: "BenchmarkX", Iters: 100, NsPerOp: 100, AllocsPerOp: 2, Metrics: map[string]float64{"events/s": 10}},
+		{Name: "BenchmarkY", Iters: 10, NsPerOp: 7},
+		{Name: "BenchmarkX", Iters: 300, NsPerOp: 200, AllocsPerOp: 2, Metrics: map[string]float64{"events/s": 30}},
+	}
+	got := MergeResults(in)
+	if len(got) != 2 {
+		t.Fatalf("want 2 merged results, got %d", len(got))
+	}
+	x := got[0]
+	if x.Name != "BenchmarkX" || x.Iters != 400 {
+		t.Errorf("bad merged identity: %+v", x)
+	}
+	if math.Abs(x.NsPerOp-175) > 1e-9 { // (100*100 + 200*300) / 400
+		t.Errorf("ns/op weighted mean = %v, want 175", x.NsPerOp)
+	}
+	if math.Abs(x.Metrics["events/s"]-25) > 1e-9 {
+		t.Errorf("metric weighted mean = %v, want 25", x.Metrics["events/s"])
+	}
+	again := MergeResults(got)
+	if !reflect.DeepEqual(again, got) {
+		t.Errorf("merge not idempotent:\n got %+v\nthen %+v", got, again)
+	}
+	// Merging must not mutate its input's metric maps.
+	if in[0].Metrics["events/s"] != 10 {
+		t.Errorf("input mutated: %+v", in[0])
+	}
+}
+
+func TestTrajectoryAppendRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_des.json")
+	first, err := Load(path, "des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(first.Entries) != 0 || first.Area != "des" {
+		t.Fatalf("fresh trajectory wrong: %+v", first)
+	}
+	first.Append(Entry{CapturedAt: "2026-08-08T00:00:00Z", Note: "baseline",
+		Results: []Result{{Name: "BenchmarkScheduleAndFire", Iters: 1000, NsPerOp: 100, AllocsPerOp: 1}}})
+	if err := first.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	second, err := Load(path, "des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	second.Append(Entry{CapturedAt: "2026-08-08T01:00:00Z", Note: "post-opt",
+		Results: []Result{{Name: "BenchmarkScheduleAndFire", Iters: 1000, NsPerOp: 80}}})
+	if err := second.Save(path); err != nil {
+		t.Fatal(err)
+	}
+
+	final, err := Load(path, "des")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(final.Entries) != 2 {
+		t.Fatalf("append must accumulate, got %d entries", len(final.Entries))
+	}
+	if final.Entries[0].Note != "baseline" || final.Entries[1].Note != "post-opt" {
+		t.Errorf("entry order lost: %+v", final.Entries)
+	}
+	if final.Last().Results[0].NsPerOp != 80 {
+		t.Errorf("last entry wrong: %+v", final.Last())
+	}
+}
+
+func TestLoadAreaMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "BENCH_des.json")
+	tr := &Trajectory{Area: "des"}
+	tr.Append(Entry{CapturedAt: "2026-08-08T00:00:00Z"})
+	if err := tr.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(path, "maxmin"); err == nil {
+		t.Fatal("want error appending area maxmin onto a des file")
+	}
+}
+
+func TestCompareFlagsRegressions(t *testing.T) {
+	prev := []Result{
+		{Name: "BenchmarkA", NsPerOp: 100, AllocsPerOp: 4},
+		{Name: "BenchmarkB", NsPerOp: 100},
+		{Name: "BenchmarkC", NsPerOp: 100, AllocsPerOp: 1},
+		{Name: "BenchmarkGone", NsPerOp: 1},
+	}
+	cur := []Result{
+		{Name: "BenchmarkA", NsPerOp: 130, AllocsPerOp: 4}, // 30% slower
+		{Name: "BenchmarkB", NsPerOp: 75},                  // 25% faster
+		{Name: "BenchmarkC", NsPerOp: 101, AllocsPerOp: 0}, // allocs eliminated
+		{Name: "BenchmarkNew", NsPerOp: 1},
+	}
+	ds := Compare(prev, cur, 0.20)
+	byKey := map[string]Delta{}
+	for _, d := range ds {
+		byKey[d.Name+" "+d.Metric] = d
+	}
+	cases := []struct {
+		key         string
+		regression  bool
+		improvement bool
+	}{
+		{"BenchmarkA ns/op", true, false},
+		{"BenchmarkA allocs/op", false, false},
+		{"BenchmarkB ns/op", false, true},
+		{"BenchmarkC ns/op", false, false},
+		{"BenchmarkC allocs/op", false, true},
+	}
+	for _, c := range cases {
+		d, ok := byKey[c.key]
+		if !ok {
+			t.Errorf("missing delta %q", c.key)
+			continue
+		}
+		if d.Regression != c.regression || d.Improvement != c.improvement {
+			t.Errorf("%s: regression=%v improvement=%v, want %v/%v",
+				c.key, d.Regression, d.Improvement, c.regression, c.improvement)
+		}
+	}
+	if _, ok := byKey["BenchmarkGone ns/op"]; ok {
+		t.Error("vanished benchmark must not be compared")
+	}
+	if _, ok := byKey["BenchmarkNew ns/op"]; ok {
+		t.Error("new benchmark has no baseline to compare")
+	}
+	if got := len(Regressions(ds)); got != 1 {
+		t.Errorf("want exactly 1 regression, got %d", got)
+	}
+	rep := Report(ds)
+	if !strings.Contains(rep, "REGRESSION") || !strings.Contains(rep, "improved") {
+		t.Errorf("report missing flags:\n%s", rep)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	if rep := Report(nil); !strings.Contains(rep, "no comparable") {
+		t.Errorf("empty report = %q", rep)
+	}
+}

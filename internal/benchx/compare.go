@@ -1,0 +1,110 @@
+package benchx
+
+import (
+	"fmt"
+	"strings"
+)
+
+// DefaultThreshold is the fractional change beyond which Compare flags
+// a delta: 20% slower is a regression, 20% faster an improvement.
+const DefaultThreshold = 0.20
+
+// Delta is one benchmark metric compared across two trajectory entries.
+type Delta struct {
+	// Name is the benchmark, Metric the compared unit ("ns/op" or
+	// "allocs/op").
+	Name   string
+	Metric string
+	// Before and After are the previous and current values.
+	Before float64
+	After  float64
+	// Change is the fractional change (After-Before)/Before; +0.25
+	// means 25% worse. It is 0 when Before is 0 and After is 0, and
+	// +Inf-free: a 0→nonzero move is reported as Change=1.
+	Change float64
+	// Regression and Improvement flag changes beyond the threshold.
+	Regression  bool
+	Improvement bool
+}
+
+// Compare matches current results against previous ones by benchmark
+// name and reports a Delta per (benchmark, metric) pair, in current
+// order: ns/op always, allocs/op whenever either side reports any.
+// Benchmarks present on only one side are skipped — a renamed or new
+// benchmark has no trajectory to regress against.
+func Compare(prev, cur []Result, threshold float64) []Delta {
+	if threshold <= 0 {
+		threshold = DefaultThreshold
+	}
+	byName := make(map[string]Result, len(prev))
+	for _, r := range prev {
+		byName[r.Name] = r
+	}
+	var out []Delta
+	for _, c := range cur {
+		p, ok := byName[c.Name]
+		if !ok {
+			continue
+		}
+		out = append(out, delta(c.Name, "ns/op", p.NsPerOp, c.NsPerOp, threshold))
+		if p.AllocsPerOp != 0 || c.AllocsPerOp != 0 {
+			out = append(out, delta(c.Name, "allocs/op", p.AllocsPerOp, c.AllocsPerOp, threshold))
+		}
+	}
+	return out
+}
+
+func delta(name, metric string, before, after, threshold float64) Delta {
+	d := Delta{Name: name, Metric: metric, Before: before, After: after}
+	switch {
+	case before == 0 && after == 0:
+		// no change
+	case before == 0:
+		d.Change = 1
+	default:
+		d.Change = (after - before) / before
+	}
+	d.Regression = d.Change > threshold
+	d.Improvement = d.Change < -threshold
+	return d
+}
+
+// Regressions filters deltas down to the flagged regressions.
+func Regressions(ds []Delta) []Delta {
+	var out []Delta
+	for _, d := range ds {
+		if d.Regression {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Report renders deltas as an aligned text table, one line per
+// (benchmark, metric), with REGRESSION / improved flags. It is the
+// human-readable face of the trajectory: benchcap prints it after every
+// capture.
+func Report(ds []Delta) string {
+	if len(ds) == 0 {
+		return "no comparable benchmarks\n"
+	}
+	var b strings.Builder
+	nameW := len("benchmark")
+	for _, d := range ds {
+		if n := len(d.Name); n > nameW {
+			nameW = n
+		}
+	}
+	fmt.Fprintf(&b, "%-*s  %-9s  %14s  %14s  %8s\n", nameW, "benchmark", "metric", "before", "after", "change")
+	for _, d := range ds {
+		flag := ""
+		if d.Regression {
+			flag = "  REGRESSION"
+		} else if d.Improvement {
+			flag = "  improved"
+		}
+		fmt.Fprintf(&b, "%-*s  %-9s  %14.6g  %14.6g  %+7.1f%%%s\n",
+			nameW, d.Name, d.Metric, d.Before, d.After, d.Change*100, flag)
+	}
+	return b.String()
+}

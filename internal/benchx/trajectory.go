@@ -1,0 +1,98 @@
+package benchx
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Entry is one trajectory point: the results of one capture plus the
+// context needed to judge comparability later (toolchain, CPU, git
+// revision, when it was taken).
+type Entry struct {
+	// CapturedAt is an RFC3339 UTC timestamp.
+	CapturedAt string `json:"captured_at"`
+	// GoVersion is runtime.Version() of the capturing toolchain.
+	GoVersion string `json:"go_version,omitempty"`
+	// Revision is the git revision the capture ran against, when known.
+	Revision string `json:"revision,omitempty"`
+	// Note is a free-form label ("baseline", "post 4-ary heap", ...).
+	Note string `json:"note,omitempty"`
+	// CPU and Pkg come from the bench output header.
+	CPU string `json:"cpu,omitempty"`
+	Pkg string `json:"pkg,omitempty"`
+	// Results holds one merged result per benchmark.
+	Results []Result `json:"results"`
+}
+
+// Trajectory is the accumulated benchmark history of one area — the
+// content of a BENCH_<area>.json file. Entries are append-only and
+// chronological: Entries[0] is the first baseline ever captured,
+// Entries[len-1] the most recent.
+type Trajectory struct {
+	Area    string  `json:"area"`
+	Entries []Entry `json:"entries"`
+}
+
+// Last returns the most recent entry, or nil for an empty trajectory.
+func (t *Trajectory) Last() *Entry {
+	if len(t.Entries) == 0 {
+		return nil
+	}
+	return &t.Entries[len(t.Entries)-1]
+}
+
+// Append adds one capture to the trajectory.
+func (t *Trajectory) Append(e Entry) { t.Entries = append(t.Entries, e) }
+
+// Load reads a trajectory file. A missing file is not an error: it
+// yields an empty trajectory for the given area, so the first capture
+// bootstraps the file.
+func Load(path, area string) (*Trajectory, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return &Trajectory{Area: area}, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("benchx: read %s: %w", path, err)
+	}
+	var t Trajectory
+	if err := json.Unmarshal(data, &t); err != nil {
+		return nil, fmt.Errorf("benchx: parse %s: %w", path, err)
+	}
+	if t.Area == "" {
+		t.Area = area
+	} else if area != "" && t.Area != area {
+		return nil, fmt.Errorf("benchx: %s holds area %q, expected %q", path, t.Area, area)
+	}
+	return &t, nil
+}
+
+// Save writes the trajectory atomically (temp file + rename) so an
+// interrupted capture never truncates the accumulated history.
+func (t *Trajectory) Save(path string) error {
+	data, err := json.MarshalIndent(t, "", "  ")
+	if err != nil {
+		return fmt.Errorf("benchx: encode %s: %w", path, err)
+	}
+	data = append(data, '\n')
+	tmp, err := os.CreateTemp(filepath.Dir(path), ".bench-*.json")
+	if err != nil {
+		return fmt.Errorf("benchx: temp file: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchx: write %s: %w", path, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchx: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp.Name(), path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("benchx: rename %s: %w", path, err)
+	}
+	return nil
+}

@@ -95,7 +95,7 @@ func (m *Manager) refreshAdvance(p *Portable) {
 	place := func(cell topology.CellID) {
 		m.bookSet(m.downlink(cell), source, demand)
 		p.reservedCells[cell] = demand
-		m.Bus.Publish(eventbus.AdvanceReservation{
+		eventbus.Pub(m.Bus, eventbus.AdvanceReservation{
 			Cell: string(cell), Portable: p.ID, Amount: demand,
 		})
 	}
@@ -226,7 +226,7 @@ func (m *Manager) evaluateMeetings(cell *topology.Cell, now float64) {
 	}
 	m.meetings[cell.ID] = active
 	if total := roomTotal + neighborTotal; total > 0 {
-		m.Bus.Publish(eventbus.PolicyReservation{
+		eventbus.Pub(m.Bus, eventbus.PolicyReservation{
 			Cell: string(cell.ID), Source: tag, Amount: total,
 		})
 	}
@@ -247,7 +247,7 @@ func (m *Manager) evaluateMeetings(cell *topology.Cell, now float64) {
 func (m *Manager) applyLoungePlan(cell *topology.Cell, plan reserve.LoungePlan) {
 	tag := "policy:" + string(cell.ID)
 	if total := plan.Total(); total > 0 {
-		m.Bus.Publish(eventbus.PolicyReservation{
+		eventbus.Pub(m.Bus, eventbus.PolicyReservation{
 			Cell: string(cell.ID), Source: tag, Amount: total,
 		})
 	}

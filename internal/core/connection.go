@@ -23,7 +23,7 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 	if !ok {
 		return "", fmt.Errorf("%w: %s", ErrUnknownPortable, portable)
 	}
-	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
+	eventbus.Pub(m.Bus, eventbus.ConnectionRequested{Portable: portable})
 	// Overload shedding applies before any resources are touched;
 	// best-effort requests are exempt (they hold nothing, §4 never
 	// blocks them).
@@ -40,7 +40,7 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 	connID := fmt.Sprintf("conn-%d", m.nextConn)
 	m.nextConn++
 	if req.BestEffort() {
-		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
+		eventbus.Pub(m.Bus, eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
 		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
 		m.conns[connID] = c
 		p.conns[connID] = true
@@ -59,10 +59,10 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 		return "", err
 	}
 	if !res.Admitted {
-		m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: res.Reason})
+		eventbus.Pub(m.Bus, eventbus.ConnectionBlocked{Portable: portable, Reason: res.Reason})
 		return "", fmt.Errorf("%w: %s at %s", ErrRejected, res.Reason, res.FailedLink)
 	}
-	m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: res.Bandwidth})
+	eventbus.Pub(m.Bus, eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: res.Bandwidth})
 	c := &Connection{
 		ID: connID, Portable: portable, Req: req,
 		Host: host, Route: route, Bandwidth: res.Bandwidth,
@@ -86,7 +86,7 @@ func (m *Manager) CloseConnection(connID string) error {
 	if !ok {
 		return fmt.Errorf("%w: %s", ErrUnknownConn, connID)
 	}
-	m.Bus.Publish(eventbus.ConnectionClosed{Conn: connID, Portable: c.Portable})
+	eventbus.Pub(m.Bus, eventbus.ConnectionClosed{Conn: connID, Portable: c.Portable})
 	m.Ctl.Ledger.Release(connID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {
@@ -189,7 +189,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 	kind := admission.KindHandoff
 	if !predicted {
 		kind = admission.KindPoolClaim
-		m.Bus.Publish(eventbus.PoolClaim{Portable: id, From: string(from), To: string(to)})
+		eventbus.Pub(m.Bus, eventbus.PoolClaim{Portable: id, From: string(from), To: string(to)})
 	}
 	// Update counters for meeting rooms.
 	m.noteMeetingDeparture(id, from)
@@ -209,7 +209,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 
 	for _, connID := range p.Conns() {
 		c := m.conns[connID]
-		m.Bus.Publish(eventbus.HandoffAttempt{
+		eventbus.Pub(m.Bus, eventbus.HandoffAttempt{
 			Conn: connID, Portable: id,
 			From: string(from), To: string(to), Predicted: predicted,
 		})
@@ -223,7 +223,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 			// Best-effort connections carry no reservation: they follow
 			// the portable unconditionally.
 			c.Route = newRoute
-			m.Bus.Publish(eventbus.HandoffOutcome{Conn: connID, Portable: id})
+			eventbus.Pub(m.Bus, eventbus.HandoffOutcome{Conn: connID, Portable: id})
 			continue
 		}
 		// Release the old path first (the portable has left the cell),
@@ -252,7 +252,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 			m.dropConnection(c, p)
 			continue
 		}
-		m.Bus.Publish(eventbus.HandoffOutcome{Conn: connID, Portable: id})
+		eventbus.Pub(m.Bus, eventbus.HandoffOutcome{Conn: connID, Portable: id})
 		if m.Adpt != nil {
 			m.Adpt.Unregister(connID)
 		}
@@ -280,7 +280,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 // admission. The drop log lives in Metrics, which hears about it through
 // the HandoffOutcome event.
 func (m *Manager) dropConnection(c *Connection, p *Portable) {
-	m.Bus.Publish(eventbus.HandoffOutcome{Conn: c.ID, Portable: p.ID, Dropped: true})
+	eventbus.Pub(m.Bus, eventbus.HandoffOutcome{Conn: c.ID, Portable: p.ID, Dropped: true})
 	m.Ctl.Ledger.Release(c.ID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {

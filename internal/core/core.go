@@ -287,7 +287,7 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 		m.Adpt.OnRate = func(connID string, bw float64) {
 			if c, ok := m.conns[connID]; ok {
 				c.Bandwidth = bw
-				bus.Publish(eventbus.BandwidthChange{Conn: connID, Bandwidth: bw})
+				eventbus.Pub(bus, eventbus.BandwidthChange{Conn: connID, Bandwidth: bw})
 			}
 		}
 	}

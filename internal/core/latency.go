@@ -59,7 +59,7 @@ func (m *Manager) recordHandoffLatency(c *Connection, route topology.Route, pred
 	} else {
 		d = signalingLatency(route)
 	}
-	m.Bus.Publish(eventbus.HandoffLatency{
+	eventbus.Pub(m.Bus, eventbus.HandoffLatency{
 		Conn: c.ID, Portable: c.Portable, Predicted: predicted, Latency: d,
 	})
 	return d

@@ -63,7 +63,7 @@ func (m *Manager) allowSetup(p *Portable) error {
 	if ok {
 		return nil
 	}
-	m.Bus.Publish(eventbus.ConnectionBlocked{Portable: p.ID, Reason: reason})
+	eventbus.Pub(m.Bus, eventbus.ConnectionBlocked{Portable: p.ID, Reason: reason})
 	if reason == "breaker-open" {
 		return fmt.Errorf("%w: %w", ErrRejected, overload.ErrBusy)
 	}
@@ -84,7 +84,7 @@ func (m *Manager) degradeLink(link topology.LinkID) int {
 		}
 		if m.Adpt.Degrade(id) {
 			n++
-			m.Bus.Publish(eventbus.DegradeCascade{Conn: id, Link: string(link), Action: "degrade"})
+			eventbus.Pub(m.Bus, eventbus.DegradeCascade{Conn: id, Link: string(link), Action: "degrade"})
 		}
 	}
 	return n
@@ -102,7 +102,7 @@ func (m *Manager) restoreLink(link topology.LinkID) int {
 		}
 		if m.Adpt.Restore(id) {
 			n++
-			m.Bus.Publish(eventbus.DegradeCascade{Conn: id, Link: string(link), Action: "restore"})
+			eventbus.Pub(m.Bus, eventbus.DegradeCascade{Conn: id, Link: string(link), Action: "restore"})
 		}
 	}
 	return n

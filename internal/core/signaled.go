@@ -41,7 +41,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 	if done == nil {
 		return fmt.Errorf("core: nil completion callback")
 	}
-	m.Bus.Publish(eventbus.ConnectionRequested{Portable: portable})
+	eventbus.Pub(m.Bus, eventbus.ConnectionRequested{Portable: portable})
 	// Overload shedding and the circuit breaker fail fast here, before
 	// any signaling is queued; best-effort requests are exempt.
 	if !req.BestEffort() {
@@ -57,7 +57,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 	connID := fmt.Sprintf("conn-%d", m.nextConn)
 	m.nextConn++
 	if req.BestEffort() {
-		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
+		eventbus.Pub(m.Bus, eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, BestEffort: true})
 		c := &Connection{ID: connID, Portable: portable, Req: req, Host: host, Route: route}
 		m.conns[connID] = c
 		p.conns[connID] = true
@@ -80,7 +80,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 			m.Ovl.RecordSetupOutcome(r.Err != nil)
 		}
 		if r.Err != nil {
-			m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: r.Err.Error()})
+			eventbus.Pub(m.Bus, eventbus.ConnectionBlocked{Portable: portable, Reason: r.Err.Error()})
 			done("", fmt.Errorf("%w: %v", ErrRejected, r.Err))
 			return
 		}
@@ -88,11 +88,11 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		// not shift under us.
 		if cur, ok := m.portables[portable]; !ok || cur.Cell != originCell {
 			m.Ctl.Ledger.Release(connID, route)
-			m.Bus.Publish(eventbus.ConnectionBlocked{Portable: portable, Reason: "portable moved during setup"})
+			eventbus.Pub(m.Bus, eventbus.ConnectionBlocked{Portable: portable, Reason: "portable moved during setup"})
 			done("", fmt.Errorf("%w: portable moved during setup", ErrRejected))
 			return
 		}
-		m.Bus.Publish(eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: r.Admission.Bandwidth})
+		eventbus.Pub(m.Bus, eventbus.ConnectionAdmitted{Conn: connID, Portable: portable, Bandwidth: r.Admission.Bandwidth})
 		c := &Connection{
 			ID: connID, Portable: portable, Req: req,
 			Host: host, Route: route, Bandwidth: r.Admission.Bandwidth,

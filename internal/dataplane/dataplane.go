@@ -183,7 +183,7 @@ func (dp *Dataplane) onDepart(l *topology.Link, p sched.Packet, at float64) {
 		return
 	}
 	arrival := p.Arrival
-	dp.Sim.After(l.PropDelay, func() {
+	dp.Sim.PostAfter(l.PropDelay, func() {
 		srv, ok := dp.servers[next]
 		if !ok {
 			return
@@ -234,7 +234,7 @@ func (dp *Dataplane) StartFlow(id string, route topology.Route, rate float64, sp
 		}
 		dp.nextHop[l.ID][id] = next
 	}
-	dp.opts.Bus.Publish(eventbus.FlowStarted{Conn: id, Rate: rate})
+	eventbus.Pub(dp.opts.Bus, eventbus.FlowStarted{Conn: id, Rate: rate})
 	// Source: emit the burst now, then steady packets at ρ.
 	first := route.Links[0].ID
 	size := dp.opts.PacketSize
@@ -267,7 +267,7 @@ func (dp *Dataplane) StopFlow(id string) {
 		delete(dp.nextHop[l.ID], id)
 	}
 	delete(dp.flows, id)
-	dp.opts.Bus.Publish(eventbus.FlowStopped{
+	eventbus.Pub(dp.opts.Bus, eventbus.FlowStopped{
 		Conn: id, Sent: int(f.stats.Sent),
 		Delivered: int(f.stats.Delivered), Lost: int(f.stats.Lost),
 	})

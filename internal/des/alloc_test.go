@@ -1,0 +1,52 @@
+package des
+
+import (
+	"testing"
+
+	"armnet/internal/raceflag"
+)
+
+// TestPostFireAllocFree pins the steady-state allocation budget of the
+// handle-free scheduling hot path: once the freelist holds a recycled
+// record, Post + fire must not touch the heap. This is the path every
+// per-hop, per-packet, and fire-and-forget caller uses.
+func TestPostFireAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	s := New()
+	fn := func() {}
+	// Prime: the first round allocates the record that seeds the
+	// freelist; every later round must reuse it.
+	s.Post(s.Now()+1, fn)
+	if !s.step() {
+		t.Fatal("priming step fired nothing")
+	}
+	got := testing.AllocsPerRun(1000, func() {
+		s.Post(s.Now()+1, fn)
+		s.step()
+	})
+	if got != 0 {
+		t.Fatalf("Post+fire steady state allocates %v/op, want 0", got)
+	}
+}
+
+// TestAtFireAllocBudget pins the cancelable path at exactly one
+// allocation per schedule: the handle escapes to the caller, so the
+// record cannot be pooled, but nothing else may allocate.
+func TestAtFireAllocBudget(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	s := New()
+	fn := func() {}
+	s.At(s.Now()+1, fn)
+	s.step()
+	got := testing.AllocsPerRun(1000, func() {
+		s.At(s.Now()+1, fn)
+		s.step()
+	})
+	if got != 1 {
+		t.Fatalf("At+fire steady state allocates %v/op, want exactly 1 (the escaping handle)", got)
+	}
+}

@@ -9,7 +9,6 @@
 package des
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math"
@@ -28,6 +27,10 @@ type Event struct {
 	index  int    // heap index, -1 when not queued
 	fn     func()
 	cancel bool
+	// pooled events were scheduled through Post/PostAfter: no handle
+	// escaped, so the record returns to the simulator's freelist after
+	// it fires.
+	pooled bool
 }
 
 // Time returns the simulated time at which the event fires.
@@ -40,36 +43,90 @@ func (e *Event) Canceled() bool { return e.cancel }
 // already fired or was already canceled is a no-op.
 func (e *Event) Cancel() { e.cancel = true }
 
+// eventQueue is a hand-rolled four-ary min-heap ordered by (time, seq).
+// Four children per node halves the tree depth of the binary
+// container/heap it replaced, which cuts the sift compares and pointer
+// moves on the fire path — the single hottest loop in the repository —
+// and dropping the heap.Interface indirection lets every operation
+// inline. The (time, seq) order is total, so the pop sequence (and with
+// it every trace byte) is identical to the binary heap's regardless of
+// internal layout.
 type eventQueue []*Event
 
-func (q eventQueue) Len() int { return len(q) }
+// degree is the heap's fan-out. Four is the sweet spot for pointer
+// heaps: depth log₄(n) with still-cheap child scans.
+const degree = 4
 
-func (q eventQueue) Less(i, j int) bool {
+func (q eventQueue) less(i, j int) bool {
 	if q[i].time != q[j].time {
 		return q[i].time < q[j].time
 	}
 	return q[i].seq < q[j].seq
 }
 
-func (q eventQueue) Swap(i, j int) {
+func (q eventQueue) swap(i, j int) {
 	q[i], q[j] = q[j], q[i]
 	q[i].index = i
 	q[j].index = j
 }
 
-func (q *eventQueue) Push(x any) {
-	e := x.(*Event)
+func (q *eventQueue) push(e *Event) {
 	e.index = len(*q)
 	*q = append(*q, e)
+	q.up(e.index)
 }
 
-func (q *eventQueue) Pop() any {
+func (q eventQueue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / degree
+		if !q.less(i, parent) {
+			break
+		}
+		q.swap(i, parent)
+		i = parent
+	}
+}
+
+func (q eventQueue) down(i int) {
+	n := len(q)
+	for {
+		first := i*degree + 1
+		if first >= n {
+			return
+		}
+		min := first
+		last := first + degree
+		if last > n {
+			last = n
+		}
+		for c := first + 1; c < last; c++ {
+			if q.less(c, min) {
+				min = c
+			}
+		}
+		if !q.less(min, i) {
+			return
+		}
+		q.swap(i, min)
+		i = min
+	}
+}
+
+// popMin removes and returns the earliest event.
+func (q *eventQueue) popMin() *Event {
 	old := *q
 	n := len(old)
-	e := old[n-1]
+	e := old[0]
+	last := old[n-1]
 	old[n-1] = nil
+	old = old[:n-1]
+	*q = old
+	if n > 1 {
+		old[0] = last
+		last.index = 0
+		old.down(0)
+	}
 	e.index = -1
-	*q = old[:n-1]
 	return e
 }
 
@@ -81,6 +138,10 @@ type Simulator struct {
 	queue   eventQueue
 	stopped bool
 	fired   uint64
+	// free recycles the records of fired Post events. Only events whose
+	// handle never escaped are ever put here, so reuse can't resurrect a
+	// stale Cancel.
+	free []*Event
 }
 
 // New returns a Simulator with the clock at zero.
@@ -100,6 +161,36 @@ func (s *Simulator) Pending() int { return len(s.queue) }
 // past (t < Now) panics: it always indicates a model bug, and silently
 // reordering time would corrupt every downstream measurement.
 func (s *Simulator) At(t float64, fn func()) *Event {
+	return s.schedule(t, fn, false)
+}
+
+// After schedules fn to run d seconds from now. Negative d panics.
+func (s *Simulator) After(d float64, fn func()) *Event {
+	return s.schedule(s.now+d, fn, false)
+}
+
+// Post schedules fn at absolute time t like At, but returns no handle:
+// the event cannot be canceled, and its record is recycled through the
+// simulator's freelist after it fires. This is the zero-allocation
+// scheduling path for the hot callers — per-hop control-packet
+// delivery, per-packet data-plane forwarding, mobility steps — which
+// never cancel individual events. Use At/After when a Cancel handle is
+// actually needed.
+func (s *Simulator) Post(t float64, fn func()) {
+	s.schedule(t, fn, true)
+}
+
+// PostAfter schedules fn to run d seconds from now without a handle;
+// it is to After what Post is to At. Negative d panics.
+func (s *Simulator) PostAfter(d float64, fn func()) {
+	s.schedule(s.now+d, fn, true)
+}
+
+// schedule validates, allocates (or recycles) and enqueues one event.
+// Both pooled and handle-bearing events may draw from the freelist —
+// every record on it is guaranteed handle-free — but only pooled ones
+// return to it.
+func (s *Simulator) schedule(t float64, fn func(), pooled bool) *Event {
 	if fn == nil {
 		panic("des: nil event callback")
 	}
@@ -109,15 +200,18 @@ func (s *Simulator) At(t float64, fn func()) *Event {
 	if math.IsNaN(t) {
 		panic("des: schedule at NaN")
 	}
-	e := &Event{time: t, seq: s.seq, fn: fn, index: -1}
+	var e *Event
+	if n := len(s.free); n > 0 {
+		e = s.free[n-1]
+		s.free[n-1] = nil
+		s.free = s.free[:n-1]
+		*e = Event{time: t, seq: s.seq, fn: fn, index: -1, pooled: pooled}
+	} else {
+		e = &Event{time: t, seq: s.seq, fn: fn, index: -1, pooled: pooled}
+	}
 	s.seq++
-	heap.Push(&s.queue, e)
+	s.queue.push(e)
 	return e
-}
-
-// After schedules fn to run d seconds from now. Negative d panics.
-func (s *Simulator) After(d float64, fn func()) *Event {
-	return s.At(s.now+d, fn)
 }
 
 // Stop halts the simulation after the currently executing event returns.
@@ -127,13 +221,25 @@ func (s *Simulator) Stop() { s.stopped = true }
 // is empty. Canceled events are discarded without firing.
 func (s *Simulator) step() bool {
 	for len(s.queue) > 0 {
-		e := heap.Pop(&s.queue).(*Event)
+		e := s.queue.popMin()
 		if e.cancel {
+			// Canceled events are handle-bearing by construction
+			// (pooled events expose no Cancel), so they are never
+			// recycled.
 			continue
 		}
 		s.now = e.time
 		s.fired++
-		e.fn()
+		fn := e.fn
+		if e.pooled {
+			// Recycle before firing: no handle exists, so the record
+			// is free the moment it leaves the queue, and a callback
+			// that immediately reschedules reuses it without touching
+			// the allocator.
+			e.fn = nil
+			s.free = append(s.free, e)
+		}
+		fn()
 		return true
 	}
 	return false
@@ -186,7 +292,7 @@ func (s *Simulator) peek() *Event {
 		if !e.cancel {
 			return e
 		}
-		heap.Pop(&s.queue)
+		s.queue.popMin()
 	}
 	return nil
 }
@@ -199,6 +305,9 @@ type Ticker struct {
 	fn     func()
 	ev     *Event
 	done   bool
+	// tick is the re-arm callback, built once at construction so each
+	// period schedules a fresh event but not a fresh closure.
+	tick func()
 }
 
 // Every starts a Ticker whose first firing is one period from now.
@@ -208,12 +317,7 @@ func (s *Simulator) Every(period float64, fn func()) *Ticker {
 		panic("des: non-positive ticker period")
 	}
 	t := &Ticker{sim: s, period: period, fn: fn}
-	t.arm()
-	return t
-}
-
-func (t *Ticker) arm() {
-	t.ev = t.sim.After(t.period, func() {
+	t.tick = func() {
 		if t.done {
 			return
 		}
@@ -221,7 +325,13 @@ func (t *Ticker) arm() {
 		if !t.done {
 			t.arm()
 		}
-	})
+	}
+	t.arm()
+	return t
+}
+
+func (t *Ticker) arm() {
+	t.ev = t.sim.After(t.period, t.tick)
 }
 
 // Cancel stops the ticker. It is safe to call more than once.

@@ -2,8 +2,25 @@ package des
 
 import "testing"
 
+// BenchmarkScheduleAndFire measures the simulator's hot scheduling
+// loop: the handle-free Post path every per-hop/per-packet caller uses,
+// with the fired record recycled through the freelist (steady-state
+// zero allocations).
 func BenchmarkScheduleAndFire(b *testing.B) {
 	s := New()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Post(s.Now()+1, func() {})
+		s.step()
+	}
+}
+
+// BenchmarkScheduleAndFireHandle is the cancelable At variant: one
+// event record per schedule, since a handle escapes.
+func BenchmarkScheduleAndFireHandle(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.At(s.Now()+1, func() {})
@@ -16,9 +33,10 @@ func BenchmarkHeapChurn(b *testing.B) {
 	s := New()
 	for i := 0; i < 1024; i++ {
 		var rearm func()
-		rearm = func() { s.After(float64(i%7)+1, rearm) }
-		s.After(float64(i%7)+1, rearm)
+		rearm = func() { s.PostAfter(float64(i%7)+1, rearm) }
+		s.PostAfter(float64(i%7)+1, rearm)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.step()
@@ -29,6 +47,7 @@ func BenchmarkTicker(b *testing.B) {
 	s := New()
 	n := 0
 	s.Every(1, func() { n++ })
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s.step()

@@ -13,7 +13,7 @@ func BenchmarkPublishNoSubscribers(b *testing.B) {
 	bus := New(&fakeClock{})
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+		Pub(bus, BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
 	}
 }
 
@@ -23,7 +23,7 @@ func BenchmarkPublishOneKindSubscriber(b *testing.B) {
 	bus.Subscribe(func(Record) { n++ }, KindBandwidthChange)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+		Pub(bus, BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
 	}
 	_ = n
 }
@@ -37,7 +37,7 @@ func BenchmarkPublishFourSubscribers(b *testing.B) {
 	bus.Subscribe(func(Record) { n++ })
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+		Pub(bus, BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
 	}
 	_ = n
 }
@@ -47,6 +47,6 @@ func BenchmarkPublishWithJSONLRecorder(b *testing.B) {
 	AttachRecorder(bus, io.Discard)
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		bus.Publish(BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
+		Pub(bus, BandwidthChange{Conn: "conn-1", Bandwidth: 64000})
 	}
 }

@@ -63,7 +63,6 @@ type Bus struct {
 	seq    uint64
 	all    []Subscriber
 	byKind [kindCount][]Subscriber
-	subs   int
 }
 
 // New returns a bus stamping events from the given clock.
@@ -84,28 +83,57 @@ func (b *Bus) Subscribe(fn Subscriber, kinds ...Kind) {
 	}
 	if len(kinds) == 0 {
 		b.all = append(b.all, fn)
-		b.subs++
 		return
 	}
 	for _, k := range kinds {
 		b.byKind[k] = append(b.byKind[k], fn)
 	}
-	b.subs++
 }
 
 // Publish stamps ev with the clock's current time and the next sequence
 // number and dispatches it synchronously. Publishing on a nil bus is a
 // no-op, so emitting layers need no listener checks.
+//
+// Publish takes the event as an interface, which means the caller boxes
+// it (one heap allocation) whether or not anyone listens. The emitting
+// layers use the generic Pub instead, which defers that boxing past the
+// listener check; Publish remains for subscribers-of-subscribers and
+// external callers holding an already-boxed Event.
 func (b *Bus) Publish(ev Event) {
 	if b == nil {
 		return
 	}
 	b.seq++
-	if b.subs == 0 {
+	k := ev.Kind()
+	if len(b.byKind[k]) == 0 && len(b.all) == 0 {
 		return
 	}
+	b.dispatch(k, ev)
+}
+
+// Pub is the allocation-aware publish path: because the event arrives
+// as a concrete type, the interface boxing happens inside — after the
+// listener check — so publishing a kind nobody subscribed to costs zero
+// allocations (the sequence number still advances, keeping the stamped
+// stream identical whoever listens). With listeners present it boxes
+// exactly once, like Publish always did.
+func Pub[T Event](b *Bus, ev T) {
+	if b == nil {
+		return
+	}
+	b.seq++
+	k := ev.Kind()
+	if len(b.byKind[k]) == 0 && len(b.all) == 0 {
+		return
+	}
+	b.dispatch(k, ev)
+}
+
+// dispatch stamps and fans out one event to its kind-filtered and
+// catch-all subscribers, in subscription order.
+func (b *Bus) dispatch(k Kind, ev Event) {
 	rec := Record{Seq: b.seq, Time: b.clock.Now(), Event: ev}
-	for _, fn := range b.byKind[ev.Kind()] {
+	for _, fn := range b.byKind[k] {
 		fn(rec)
 	}
 	for _, fn := range b.all {

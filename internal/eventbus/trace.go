@@ -30,7 +30,7 @@ type traceLine struct {
 // records replayed out of order). Violations latch an error like write
 // failures do.
 type Recorder struct {
-	w       io.Writer
+	enc     *json.Encoder
 	err     error
 	lastSeq uint64
 	started bool
@@ -40,7 +40,7 @@ type Recorder struct {
 // bus and returns it. The first write or sequence error is latched and
 // stops further output; check Err after the run.
 func AttachRecorder(bus *Bus, w io.Writer) *Recorder {
-	r := &Recorder{w: w}
+	r := &Recorder{enc: json.NewEncoder(w)}
 	bus.Subscribe(r.observe)
 	return r
 }
@@ -55,13 +55,11 @@ func (r *Recorder) observe(rec Record) {
 	}
 	r.started = true
 	r.lastSeq = rec.Seq
-	line, err := json.Marshal(traceLine{Seq: rec.Seq, Time: rec.Time, Type: rec.Event.Kind().String(), Ev: rec.Event})
+	// Encoder.Encode is byte-for-byte json.Marshal plus the trailing
+	// newline, but reuses its encode buffer across events instead of
+	// allocating a fresh one per line.
+	err := r.enc.Encode(traceLine{Seq: rec.Seq, Time: rec.Time, Type: rec.Event.Kind().String(), Ev: rec.Event})
 	if err != nil {
-		r.err = fmt.Errorf("eventbus: trace encode: %w", err)
-		return
-	}
-	line = append(line, '\n')
-	if _, err := r.w.Write(line); err != nil {
 		r.err = fmt.Errorf("eventbus: trace write: %w", err)
 	}
 }

@@ -61,7 +61,7 @@ func (a *Auditor) Watch(bus *eventbus.Bus) {
 
 func (a *Auditor) report(invariant, detail string) {
 	a.Violations = append(a.Violations, invariant+": "+detail)
-	a.Bus.Publish(eventbus.InvariantViolation{Invariant: invariant, Detail: detail})
+	eventbus.Pub(a.Bus, eventbus.InvariantViolation{Invariant: invariant, Detail: detail})
 }
 
 // CheckConservation verifies the per-link ledger invariants. It returns

@@ -95,15 +95,15 @@ func (in *Injector) deliver(proto, conn string, hop int) (bool, float64) {
 		switch r.Action {
 		case "drop":
 			in.Drops++
-			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "drop", Conn: conn, Hop: hop})
+			eventbus.Pub(in.bus, eventbus.FaultMessage{Proto: proto, Action: "drop", Conn: conn, Hop: hop})
 			return true, delay
 		case "dup":
 			in.Dups++
-			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "dup", Conn: conn, Hop: hop})
+			eventbus.Pub(in.bus, eventbus.FaultMessage{Proto: proto, Action: "dup", Conn: conn, Hop: hop})
 		case "delay":
 			in.Delays++
 			delay += r.Delay
-			in.bus.Publish(eventbus.FaultMessage{Proto: proto, Action: "delay", Conn: conn, Hop: hop, Delay: r.Delay})
+			eventbus.Pub(in.bus, eventbus.FaultMessage{Proto: proto, Action: "delay", Conn: conn, Hop: hop, Delay: r.Delay})
 		}
 	}
 	return false, delay
@@ -118,10 +118,10 @@ func (in *Injector) Arm(sim *des.Simulator, d Driver) {
 	}
 	for _, f := range in.plan.Timed {
 		f := f
-		sim.At(f.At, func() { in.apply(f, d) })
+		sim.Post(f.At, func() { in.apply(f, d) })
 		if f.For > 0 && f.Action != "blackout" {
 			restore := TimedFault{At: f.At + f.For, Action: restoreAction(f.Action), Target: f.Target}
-			sim.At(restore.At, func() { in.apply(restore, d) })
+			sim.Post(restore.At, func() { in.apply(restore, d) })
 		}
 	}
 }
@@ -140,7 +140,7 @@ func restoreAction(action string) string {
 // apply publishes the fault event and executes it through the driver.
 func (in *Injector) apply(f TimedFault, d Driver) {
 	in.Components++
-	in.bus.Publish(eventbus.FaultComponent{Action: f.Action, Target: f.Target, For: f.For})
+	eventbus.Pub(in.bus, eventbus.FaultComponent{Action: f.Action, Target: f.Target, For: f.For})
 	var err error
 	switch f.Action {
 	case "link-down":

@@ -1,0 +1,27 @@
+package maxmin
+
+import (
+	"testing"
+
+	"armnet/internal/raceflag"
+)
+
+// TestAdvertisedRateAllocFree pins the per-ADVERTISE hot path at zero
+// allocations for realistic link loads: up to 64 connections the
+// restricted set lives in a stack array, so the protocol's periodic
+// advertisement sweep never touches the heap.
+func TestAdvertisedRateAllocFree(t *testing.T) {
+	if raceflag.Enabled {
+		t.Skip("race detector adds bookkeeping allocations")
+	}
+	recorded := make([]float64, 64)
+	for i := range recorded {
+		recorded[i] = float64(i%7) + 1
+	}
+	got := testing.AllocsPerRun(1000, func() {
+		AdvertisedRate(100, recorded)
+	})
+	if got != 0 {
+		t.Fatalf("AdvertisedRate(64 conns) allocates %v/op, want 0", got)
+	}
+}

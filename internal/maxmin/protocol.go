@@ -228,7 +228,7 @@ func (pr *Protocol) readvertise() {
 	}
 	if kicked > 0 {
 		pr.Readvertises += kicked
-		pr.Bus.Publish(eventbus.Readvertise{Kicked: kicked})
+		eventbus.Pub(pr.Bus, eventbus.Readvertise{Kicked: kicked})
 	}
 }
 
@@ -239,9 +239,9 @@ func (pr *Protocol) retryControl(id string, hop, attempt int, resend func(attemp
 		return false
 	}
 	pr.Retransmits++
-	pr.Bus.Publish(eventbus.ControlRetransmit{Proto: "maxmin", Conn: id, Hop: hop, Attempt: attempt + 1})
+	eventbus.Pub(pr.Bus, eventbus.ControlRetransmit{Proto: "maxmin", Conn: id, Hop: hop, Attempt: attempt + 1})
 	backoff := pr.Opts.RetryBase * float64(int(1)<<attempt)
-	pr.Sim.After(backoff, func() { resend(attempt + 1) })
+	pr.Sim.PostAfter(backoff, func() { resend(attempt + 1) })
 	return true
 }
 
@@ -486,8 +486,8 @@ func (pr *Protocol) runRoundAttempt(id string, round int, prevStamp float64, att
 		}
 	}
 	final := stamp
-	pr.Bus.Publish(eventbus.AdaptationRound{Conn: id, Round: round, Stamp: final})
-	pr.Sim.After(travel, func() {
+	eventbus.Pub(pr.Bus, eventbus.AdaptationRound{Conn: id, Round: round, Stamp: final})
+	pr.Sim.PostAfter(travel, func() {
 		if round < pr.Opts.RoundTrips {
 			pr.runRound(id, round+1, final)
 			return
@@ -558,7 +558,7 @@ func (pr *Protocol) sendUpdateAttempt(id string, rate float64, attempt int) {
 			delete(ls.mSet, id)
 		}
 	}
-	pr.Sim.After(travel, func() {
+	pr.Sim.PostAfter(travel, func() {
 		changed := math.Abs(pc.rate-rate) > 1e-9*(1+math.Abs(rate))
 		pc.rate = rate
 		if changed && pr.OnUpdate != nil {
@@ -589,7 +589,7 @@ func (pr *Protocol) finishSession(id string) {
 // suppresses the event).
 func (pr *Protocol) maybeConverged() {
 	if len(pr.active) == 0 && len(pr.dirty) == 0 && pr.Sessions > 0 {
-		pr.Bus.Publish(eventbus.MaxminConverged{Sessions: pr.Sessions, Messages: pr.Messages})
+		eventbus.Pub(pr.Bus, eventbus.MaxminConverged{Sessions: pr.Sessions, Messages: pr.Messages})
 	}
 }
 

@@ -3,7 +3,45 @@ package maxmin
 import (
 	"math"
 	"sort"
+	"sync"
 )
+
+// wfScratch holds WaterFill's working state, pooled so repeated solves
+// (oracle checks in chaos audits, sync-solver rounds, arena sweeps)
+// reuse one set of index-based slices instead of rebuilding maps per
+// call. Every field is fully (re)initialized from the Problem at the
+// top of WaterFill, so pooling cannot leak state between solves and the
+// result stays bit-identical to the map-based implementation it
+// replaced: iteration orders (sorted links, connection slice order) and
+// the float operation sequence are unchanged.
+type wfScratch struct {
+	links   []string       // sorted link names
+	linkIdx map[string]int // link name → index in links
+	// remaining is the unconsumed capacity per link index.
+	remaining []float64
+	// frozen marks settled connections by index in Problem.Conns.
+	frozen []bool
+	// connFlat/connOff flatten each connection's unique link indices
+	// (first-appearance order, as uniqueLinks produced).
+	connFlat []int32
+	connOff  []int
+	// onFlat/onOff flatten each link's connection indices (ascending).
+	onFlat []int32
+	onOff  []int
+	// counters reused while building onFlat; stamp dedups a loopy path
+	// (stamp[li] == conn index when already counted for that conn).
+	fill  []int
+	stamp []int
+}
+
+var wfPool = sync.Pool{New: func() any { return new(wfScratch) }}
+
+func growInts(s []int, n int) []int {
+	if cap(s) < n {
+		return make([]int, n)
+	}
+	return s[:n]
+}
 
 // WaterFill computes the maxmin-fair allocation by the classic iterative
 // bottleneck algorithm: in each round, find the link (or demand) with the
@@ -18,49 +56,123 @@ func WaterFill(p Problem) (Allocation, error) {
 	if err := p.Validate(); err != nil {
 		return nil, err
 	}
-	alloc := make(Allocation, len(p.Conns))
-	frozen := make(map[string]bool, len(p.Conns))
-	remaining := make(map[string]float64, len(p.Capacity))
-	for l, c := range p.Capacity {
-		remaining[l] = c
+	nL, nC := len(p.Capacity), len(p.Conns)
+	alloc := make(Allocation, nC)
+	sc := wfPool.Get().(*wfScratch)
+	defer wfPool.Put(sc)
+
+	// Sorted link names and their indices.
+	sc.links = sc.links[:0]
+	for l := range p.Capacity {
+		sc.links = append(sc.links, l)
 	}
-	// Index connections per link once.
-	onLink := map[string][]int{}
-	for i, c := range p.Conns {
-		seen := map[string]bool{}
-		for _, l := range c.Path {
-			if !seen[l] { // a loopy path counts a link once for sharing
-				seen[l] = true
-				onLink[l] = append(onLink[l], i)
+	sort.Strings(sc.links)
+	links := sc.links
+	if sc.linkIdx == nil {
+		sc.linkIdx = make(map[string]int, nL)
+	} else {
+		clear(sc.linkIdx)
+	}
+	for i, l := range links {
+		sc.linkIdx[l] = i
+	}
+
+	// Remaining capacity per link index.
+	if cap(sc.remaining) < nL {
+		sc.remaining = make([]float64, nL)
+	}
+	remaining := sc.remaining[:nL]
+	for i, l := range links {
+		remaining[i] = p.Capacity[l]
+	}
+
+	// Frozen flags per connection index.
+	if cap(sc.frozen) < nC {
+		sc.frozen = make([]bool, nC)
+	}
+	frozen := sc.frozen[:nC]
+	for i := range frozen {
+		frozen[i] = false
+	}
+
+	// Flatten each connection's unique link indices (a loopy path
+	// counts a link once for sharing), preserving first-appearance
+	// order — the subtraction order of the old uniqueLinks helper.
+	sc.stamp = growInts(sc.stamp, nL)
+	for i := range sc.stamp {
+		sc.stamp[i] = -1
+	}
+	sc.connOff = growInts(sc.connOff, nC+1)
+	sc.connFlat = sc.connFlat[:0]
+	for ci := range p.Conns {
+		sc.connOff[ci] = len(sc.connFlat)
+		for _, l := range p.Conns[ci].Path {
+			li := sc.linkIdx[l]
+			if sc.stamp[li] != ci {
+				sc.stamp[li] = ci
+				sc.connFlat = append(sc.connFlat, int32(li))
 			}
 		}
 	}
-	links := p.sortedLinks()
+	sc.connOff[nC] = len(sc.connFlat)
+	connLinks := func(ci int) []int32 { return sc.connFlat[sc.connOff[ci]:sc.connOff[ci+1]] }
+
+	// Invert into each link's connection indices, ascending (the same
+	// order per-link appends over the conn slice used to produce).
+	sc.fill = growInts(sc.fill, nL+1)
+	onCnt := sc.fill // reused as counts first, then as fill cursors
+	for i := range onCnt[:nL] {
+		onCnt[i] = 0
+	}
+	for ci := range p.Conns {
+		for _, li := range connLinks(ci) {
+			onCnt[li]++
+		}
+	}
+	sc.onOff = growInts(sc.onOff, nL+1)
+	off := 0
+	for li := 0; li < nL; li++ {
+		sc.onOff[li] = off
+		off += onCnt[li]
+		onCnt[li] = sc.onOff[li]
+	}
+	sc.onOff[nL] = off
+	if cap(sc.onFlat) < off {
+		sc.onFlat = make([]int32, off)
+	}
+	sc.onFlat = sc.onFlat[:off]
+	for ci := range p.Conns {
+		for _, li := range connLinks(ci) {
+			sc.onFlat[onCnt[li]] = int32(ci)
+			onCnt[li]++
+		}
+	}
+	onLink := func(li int) []int32 { return sc.onFlat[sc.onOff[li]:sc.onOff[li+1]] }
 
 	for {
 		// Count unfrozen connections per link and find the tightest
 		// fair-share level.
 		level := math.Inf(1)
-		for _, l := range links {
+		for li := range links {
 			n := 0
-			for _, ci := range onLink[l] {
-				if !frozen[p.Conns[ci].ID] {
+			for _, ci := range onLink(li) {
+				if !frozen[ci] {
 					n++
 				}
 			}
 			if n == 0 {
 				continue
 			}
-			share := remaining[l] / float64(n)
+			share := remaining[li] / float64(n)
 			if share < level {
 				level = share
 			}
 		}
 		// Demands act as private links.
 		demandBound := false
-		for _, c := range p.Conns {
-			if !frozen[c.ID] && c.Demand < level {
-				level = c.Demand
+		for ci := range p.Conns {
+			if !frozen[ci] && p.Conns[ci].Demand < level {
+				level = p.Conns[ci].Demand
 				demandBound = true
 			}
 		}
@@ -75,43 +187,43 @@ func WaterFill(p Problem) (Allocation, error) {
 		// connections on saturated links.
 		progress := false
 		if demandBound {
-			for _, c := range p.Conns {
-				if frozen[c.ID] || c.Demand > level {
+			for ci := range p.Conns {
+				c := &p.Conns[ci]
+				if frozen[ci] || c.Demand > level {
 					continue
 				}
 				alloc[c.ID] = c.Demand
-				frozen[c.ID] = true
+				frozen[ci] = true
 				progress = true
-				for _, l := range uniqueLinks(c.Path) {
-					remaining[l] -= c.Demand
-					if remaining[l] < 0 {
-						remaining[l] = 0
+				for _, li := range connLinks(ci) {
+					remaining[li] -= c.Demand
+					if remaining[li] < 0 {
+						remaining[li] = 0
 					}
 				}
 			}
 		}
-		for _, l := range links {
+		for li := range links {
 			n := 0
-			for _, ci := range onLink[l] {
-				if !frozen[p.Conns[ci].ID] {
+			for _, ci := range onLink(li) {
+				if !frozen[ci] {
 					n++
 				}
 			}
 			if n == 0 {
 				continue
 			}
-			if remaining[l]/float64(n) > level+1e-15*(1+level) {
+			if remaining[li]/float64(n) > level+1e-15*(1+level) {
 				continue // not the bottleneck this round
 			}
-			for _, ci := range onLink[l] {
-				c := p.Conns[ci]
-				if frozen[c.ID] {
+			for _, ci := range onLink(li) {
+				if frozen[ci] {
 					continue
 				}
-				alloc[c.ID] = level
-				frozen[c.ID] = true
+				alloc[p.Conns[ci].ID] = level
+				frozen[ci] = true
 				progress = true
-				for _, pl := range uniqueLinks(c.Path) {
+				for _, pl := range connLinks(int(ci)) {
 					remaining[pl] -= level
 					if remaining[pl] < 0 {
 						remaining[pl] = 0
@@ -121,17 +233,17 @@ func WaterFill(p Problem) (Allocation, error) {
 		}
 		if !progress {
 			// Numerical corner: freeze everything at the level.
-			for _, c := range p.Conns {
-				if !frozen[c.ID] {
-					alloc[c.ID] = level
-					frozen[c.ID] = true
+			for ci := range p.Conns {
+				if !frozen[ci] {
+					alloc[p.Conns[ci].ID] = level
+					frozen[ci] = true
 				}
 			}
 			break
 		}
 		allDone := true
-		for _, c := range p.Conns {
-			if !frozen[c.ID] {
+		for ci := range p.Conns {
+			if !frozen[ci] {
 				allDone = false
 				break
 			}
@@ -140,14 +252,17 @@ func WaterFill(p Problem) (Allocation, error) {
 			break
 		}
 	}
-	for _, c := range p.Conns {
-		if _, ok := alloc[c.ID]; !ok {
-			alloc[c.ID] = 0
+	for ci := range p.Conns {
+		if _, ok := alloc[p.Conns[ci].ID]; !ok {
+			alloc[p.Conns[ci].ID] = 0
 		}
 	}
 	return alloc, nil
 }
 
+// uniqueLinks returns the path's links in first-appearance order, each
+// once. The protocol and sync-solver paths still use it; WaterFill
+// flattens the same ordering into its pooled scratch instead.
 func uniqueLinks(path []string) []string {
 	seen := map[string]bool{}
 	out := make([]string, 0, len(path))
@@ -203,7 +318,16 @@ func AdvertisedRate(capacity float64, recorded []float64) float64 {
 	if n == 0 {
 		return capacity
 	}
-	restricted := make([]bool, n)
+	// The restricted set lives on the stack for realistic link loads
+	// (protocol switches advertise to tens of connections, not
+	// thousands), making the per-ADVERTISE hot path allocation-free.
+	var buf [64]bool
+	var restricted []bool
+	if n <= len(buf) {
+		restricted = buf[:n]
+	} else {
+		restricted = make([]bool, n)
+	}
 	mu := FairShare(capacity, recorded, restricted)
 	for iter := 0; iter <= n; iter++ {
 		changed := false

@@ -69,7 +69,7 @@ func (t *Trace) Duration() float64 {
 func (t *Trace) Schedule(sim *des.Simulator, handler func(Move)) {
 	for _, m := range t.Moves {
 		m := m
-		sim.At(m.Time, func() { handler(m) })
+		sim.Post(m.Time, func() { handler(m) })
 	}
 }
 

@@ -95,5 +95,5 @@ func (a *Auditor) checkDrop(conn string) {
 
 func (a *Auditor) report(invariant, detail string) {
 	a.Violations = append(a.Violations, invariant+": "+detail)
-	a.Bus.Publish(eventbus.InvariantViolation{Invariant: invariant, Detail: detail})
+	eventbus.Pub(a.Bus, eventbus.InvariantViolation{Invariant: invariant, Detail: detail})
 }

@@ -119,14 +119,14 @@ func (b *Breaker) trip(reason string) {
 	b.resetWindow()
 	b.gen++
 	gen := b.gen
-	b.bus.Publish(eventbus.BreakerState{From: from.String(), To: "open", Reason: reason})
-	b.sim.After(b.pol.BreakerCooldown, func() {
+	eventbus.Pub(b.bus, eventbus.BreakerState{From: from.String(), To: "open", Reason: reason})
+	b.sim.PostAfter(b.pol.BreakerCooldown, func() {
 		if b.gen != gen || b.state != BreakerOpen {
 			return
 		}
 		b.state = BreakerHalfOpen
 		b.probes = b.pol.BreakerProbes
-		b.bus.Publish(eventbus.BreakerState{From: "open", To: "half-open", Reason: "cooldown"})
+		eventbus.Pub(b.bus, eventbus.BreakerState{From: "open", To: "half-open", Reason: "cooldown"})
 	})
 }
 
@@ -134,7 +134,7 @@ func (b *Breaker) close(reason string) {
 	from := b.state
 	b.state = BreakerClosed
 	b.resetWindow()
-	b.bus.Publish(eventbus.BreakerState{From: from.String(), To: "closed", Reason: reason})
+	eventbus.Pub(b.bus, eventbus.BreakerState{From: from.String(), To: "closed", Reason: reason})
 }
 
 func (b *Breaker) resetWindow() {

@@ -222,7 +222,7 @@ func (c *Controller) transition(cell topology.CellID, st *cellState, queueHot bo
 	}
 	prev := st.stage
 	st.stage = next
-	c.bus.Publish(eventbus.OverloadStage{
+	eventbus.Pub(c.bus, eventbus.OverloadStage{
 		Cell: string(cell), From: prev.String(), To: next.String(),
 		Util: st.util, Queue: q,
 	})
@@ -313,7 +313,7 @@ func (c *Controller) AllowSetup(class Class, cell topology.CellID, portable stri
 
 func (c *Controller) shed(portable string, cell topology.CellID, class Class, reason string) string {
 	c.Sheds++
-	c.bus.Publish(eventbus.SetupShed{
+	eventbus.Pub(c.bus, eventbus.SetupShed{
 		Portable: portable, Cell: string(cell),
 		Class: class.String(), Reason: reason,
 	})

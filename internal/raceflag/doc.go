@@ -1,0 +1,5 @@
+// Package raceflag exposes whether the race detector is compiled in.
+// Allocation-count regression tests consult it: the race runtime adds
+// bookkeeping allocations that make testing.AllocsPerRun budgets
+// meaningless, so those tests skip themselves when Enabled is true.
+package raceflag

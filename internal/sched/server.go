@@ -69,7 +69,7 @@ func (ls *LinkServer) kick() {
 		return
 	}
 	ls.busy = true
-	ls.Sim.After(p.Size/ls.Capacity, func() {
+	ls.Sim.PostAfter(p.Size/ls.Capacity, func() {
 		ls.busy = false
 		ls.departed++
 		if ls.OnDepart != nil {

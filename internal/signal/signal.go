@@ -217,7 +217,7 @@ func (p *Plane) Setup(t admission.Test, done func(Result)) {
 			// it back: the source gives up, so the destination tears the
 			// reservation down (holds were already converted).
 			p.Rollbacks++
-			p.opts.Bus.Publish(eventbus.SignalAbort{Conn: t.ConnID, Reason: "timeout-after-commit", Hop: len(t.Route.Links)})
+			eventbus.Pub(p.opts.Bus, eventbus.SignalAbort{Conn: t.ConnID, Reason: "timeout-after-commit", Hop: len(t.Route.Links)})
 			p.Ctl.Ledger.Release(t.ConnID, t.Route)
 			s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
 			return
@@ -304,7 +304,7 @@ func (p *Plane) reap() {
 			for _, l := range o.route.Links {
 				if ls := p.Ctl.Ledger.Link(l.ID); ls != nil {
 					if a := ls.Alloc(o.conn); a != nil {
-						p.opts.Bus.Publish(eventbus.HoldReclaimed{
+						eventbus.Pub(p.opts.Bus, eventbus.HoldReclaimed{
 							Conn: o.conn, Link: string(l.ID), Amount: a.Min,
 							Reason: "commit-lease",
 						})
@@ -318,7 +318,7 @@ func (p *Plane) reap() {
 		if p.pending[o.link] <= 1e-12 {
 			delete(p.pending, o.link)
 		}
-		p.opts.Bus.Publish(eventbus.HoldReclaimed{
+		eventbus.Pub(p.opts.Bus, eventbus.HoldReclaimed{
 			Conn: o.conn, Link: string(o.link), Amount: o.amount,
 			Reason: "hold-lease",
 		})
@@ -364,11 +364,11 @@ func (s *session) retry(hop, attempt int, resend func(attempt int)) bool {
 		return false
 	}
 	p.Retransmits++
-	p.opts.Bus.Publish(eventbus.ControlRetransmit{
+	eventbus.Pub(p.opts.Bus, eventbus.ControlRetransmit{
 		Proto: "signal", Conn: s.test.ConnID, Hop: hop, Attempt: attempt + 1,
 	})
 	backoff := p.opts.RetryBase * float64(int(1)<<attempt)
-	p.Sim.After(backoff, func() { resend(attempt + 1) })
+	p.Sim.PostAfter(backoff, func() { resend(attempt + 1) })
 	return true
 }
 
@@ -397,7 +397,7 @@ func (s *session) forward(i, attempt int) {
 		}
 		delay += extra
 	}
-	s.plane.Sim.After(delay, func() {
+	s.plane.Sim.PostAfter(delay, func() {
 		if s.finished {
 			return
 		}
@@ -421,7 +421,7 @@ func (s *session) forward(i, attempt int) {
 		}
 		s.plane.pending[link.ID] += need
 		s.held = append(s.held, link.ID)
-		s.plane.opts.Bus.Publish(eventbus.SignalHold{Conn: s.test.ConnID, Link: string(link.ID)})
+		eventbus.Pub(s.plane.opts.Bus, eventbus.SignalHold{Conn: s.test.ConnID, Link: string(link.ID)})
 		s.forward(i+1, 0)
 	})
 }
@@ -440,7 +440,7 @@ func (s *session) atDestination() {
 	}
 	if !res.Admitted {
 		s.plane.Rollbacks++
-		s.plane.opts.Bus.Publish(eventbus.SignalAbort{
+		eventbus.Pub(s.plane.opts.Bus, eventbus.SignalAbort{
 			Conn: s.test.ConnID, Reason: "end-to-end:" + res.Reason,
 			Hop: len(s.test.Route.Links),
 		})
@@ -477,7 +477,7 @@ func (s *session) sendConfirm(res admission.Result, attempt int) {
 			if drop {
 				if !s.retry(n+j, attempt, func(a int) { s.sendConfirm(res, a) }) {
 					s.plane.Rollbacks++
-					s.plane.opts.Bus.Publish(eventbus.SignalAbort{Conn: s.test.ConnID, Reason: "commit-lost", Hop: n + j})
+					eventbus.Pub(s.plane.opts.Bus, eventbus.SignalAbort{Conn: s.test.ConnID, Reason: "commit-lost", Hop: n + j})
 					s.plane.Ctl.Ledger.Release(s.test.ConnID, s.test.Route)
 					s.finish(Result{Err: fmt.Errorf("%w: commit confirmation", ErrLost), Latency: s.plane.Sim.Now() - s.start})
 				}
@@ -486,13 +486,13 @@ func (s *session) sendConfirm(res admission.Result, attempt int) {
 			total += extra
 		}
 	}
-	s.plane.Sim.After(total, func() {
+	s.plane.Sim.PostAfter(total, func() {
 		if s.finished {
 			return
 		}
 		s.plane.Commits++
 		latency := s.plane.Sim.Now() - s.start
-		s.plane.opts.Bus.Publish(eventbus.SignalCommit{Conn: s.test.ConnID, Latency: latency})
+		eventbus.Pub(s.plane.opts.Bus, eventbus.SignalCommit{Conn: s.test.ConnID, Latency: latency})
 		s.finish(Result{Admission: res, Latency: latency})
 	})
 }
@@ -514,6 +514,6 @@ func (s *session) releaseHolds() {
 // but the session has already failed).
 func (s *session) rollback(i int, reason string) {
 	s.plane.Rollbacks++
-	s.plane.opts.Bus.Publish(eventbus.SignalAbort{Conn: s.test.ConnID, Reason: reason, Hop: i})
+	eventbus.Pub(s.plane.opts.Bus, eventbus.SignalAbort{Conn: s.test.ConnID, Reason: reason, Hop: i})
 	s.releaseHolds()
 }

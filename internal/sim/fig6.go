@@ -140,7 +140,7 @@ func RunFigure6(cfg Figure6Config) (Figure6Result, error) {
 	place := func(cell, class int) {
 		cells[cell].counts[class]++
 		cells[cell].used += cfg.Classes[class].Bandwidth
-		sim.After(rng.Exp(cfg.Classes[class].Mu), func() { depart(cell, class) })
+		sim.PostAfter(rng.Exp(cfg.Classes[class].Mu), func() { depart(cell, class) })
 	}
 	remove := func(cell, class int) {
 		cells[cell].counts[class]--
@@ -174,7 +174,7 @@ func RunFigure6(cfg Figure6Config) (Figure6Result, error) {
 			}
 			var next func()
 			next = func() {
-				sim.After(rng.Exp(lam), func() {
+				sim.PostAfter(rng.Exp(lam), func() {
 					sampleReserved()
 					if counting() {
 						res.NewArrivals++

@@ -279,7 +279,7 @@ func runOverload(cfg OverloadConfig, traceW io.Writer) (OverloadResult, error) {
 	openWith = func(portable string, attempt int) {
 		retry := func() {
 			if attempt < cfg.Retries {
-				simulator.After(cfg.RetryBackoff, func() { openWith(portable, attempt+1) })
+				simulator.PostAfter(cfg.RetryBackoff, func() { openWith(portable, attempt+1) })
 			}
 		}
 		err := mgr.OpenConnectionAsync(portable, req, func(connID string, err error) {
@@ -288,7 +288,7 @@ func runOverload(cfg OverloadConfig, traceW io.Writer) (OverloadResult, error) {
 				return
 			}
 			if cfg.Lifetime > 0 {
-				simulator.After(cfg.Lifetime, func() { _ = mgr.CloseConnection(connID) })
+				simulator.PostAfter(cfg.Lifetime, func() { _ = mgr.CloseConnection(connID) })
 			}
 		})
 		if err != nil {
@@ -316,7 +316,7 @@ func runOverload(cfg OverloadConfig, traceW io.Writer) (OverloadResult, error) {
 		}
 		for _, mv := range walk.Moves {
 			mv := mv
-			simulator.At(offset+mv.Time, func() {
+			simulator.Post(offset+mv.Time, func() {
 				if mv.From == "" {
 					if err := mgr.PlacePortable(mv.Portable, mv.To); err == nil {
 						for c := 0; c < cfg.ConnsPer; c++ {

@@ -107,7 +107,7 @@ func (g *Generator) Stop() { g.stopped = true }
 
 func (g *Generator) scheduleNext(cell topology.CellID, classIdx int) {
 	c := g.Classes[classIdx]
-	g.Sim.After(g.Rng.Exp(c.ArrivalRate), func() {
+	g.Sim.PostAfter(g.Rng.Exp(c.ArrivalRate), func() {
 		if g.stopped {
 			return
 		}

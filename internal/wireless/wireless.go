@@ -55,7 +55,7 @@ func (g *GilbertElliott) Attach(sim *des.Simulator, onShift func(bad bool)) {
 		if g.bad {
 			rate = g.BadToGood
 		}
-		sim.After(g.rng.Exp(rate), func() {
+		sim.PostAfter(g.rng.Exp(rate), func() {
 			g.bad = !g.bad
 			g.lastShift = sim.Now()
 			if onShift != nil {
@@ -145,7 +145,7 @@ func (c *CapacityProcess) Attach(sim *des.Simulator, onChange func(capacity floa
 	}
 	var schedule func()
 	schedule = func() {
-		sim.After(c.rng.Exp(1/c.DwellMean), func() {
+		sim.PostAfter(c.rng.Exp(1/c.DwellMean), func() {
 			if sim.Now() < c.blackoutUntil {
 				schedule() // level pinned during a blackout
 				return
@@ -164,7 +164,7 @@ func (c *CapacityProcess) setLevel(next int) {
 		return
 	}
 	c.level = next
-	c.bus.Publish(eventbus.CapacityChange{Link: c.link, Capacity: c.Capacity()})
+	eventbus.Pub(c.bus, eventbus.CapacityChange{Link: c.link, Capacity: c.Capacity()})
 	if c.onChange != nil {
 		c.onChange(c.Capacity())
 	}
@@ -188,7 +188,7 @@ func (c *CapacityProcess) Blackout(sim *des.Simulator, duration float64) {
 		c.blackoutUntil = until
 	}
 	c.setLevel(c.worstLevel())
-	sim.After(duration, func() {
+	sim.PostAfter(duration, func() {
 		if sim.Now() < c.blackoutUntil {
 			return // a later blackout extended this one
 		}
