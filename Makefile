@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs
+.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, the chaos, overload and observability gates, and
-## the bench-capture smoke check.
-ci: vet build race fuzz-short trace-determinism chaos overload obs bench-smoke
+## replication check, the chaos, overload, observability and arena
+## gates, and the bench-capture smoke check.
+ci: vet build race fuzz-short trace-determinism chaos overload obs arena bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,7 +38,7 @@ fuzz:
 ## has one. Timings scroll by; use bench-capture to record them.
 BENCHPKGS = . ./internal/admission ./internal/dataplane ./internal/des \
 	./internal/eventbus ./internal/maxmin ./internal/obs \
-	./internal/reserve ./internal/sched
+	./internal/reserve ./internal/sched ./internal/strategy
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCHPKGS)
 
@@ -84,6 +84,15 @@ obs:
 	$(GO) test -race -run 'Obs' ./internal/sim
 	$(GO) test -race ./internal/obs
 
+## arena: the strategy-seam gate — the head-to-head roster runs under
+## the race detector (worker-count determinism, the pinned seed-1
+## comparative snapshot, the default pair's equivalence to the plain
+## campus run) alongside the strategy package's property and
+## dispatch-cost tests.
+arena:
+	$(GO) test -race -run 'Arena' ./internal/sim
+	$(GO) test -race ./internal/strategy
+
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.
 golden:
@@ -91,3 +100,4 @@ golden:
 	$(GO) test ./internal/sim -run TestChaosTraceGolden -update-chaos
 	$(GO) test ./internal/sim -run TestOverloadTraceGolden -update-overload
 	$(GO) test ./internal/sim -run TestObsSnapshotGolden -update-obs
+	$(GO) test ./internal/sim -run TestArenaSnapshotGolden -update-arena

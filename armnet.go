@@ -53,6 +53,7 @@ import (
 	"armnet/internal/reserve"
 	"armnet/internal/sched"
 	"armnet/internal/signal"
+	"armnet/internal/strategy"
 	"armnet/internal/topology"
 	"armnet/internal/wireless"
 )
@@ -118,6 +119,20 @@ const (
 // defaults (T_th = 300 s, B_dyn ∈ [5%, 20%], predictive reservations,
 // adaptation on).
 type Config = core.Config
+
+// Strategy selection: Config.Allocator and Config.Admitter name the
+// rate-allocation and admission-control strategies (empty selects the
+// paper's defaults). Allocators and Admitters list the registered names.
+var (
+	Allocators = strategy.Allocators
+	Admitters  = strategy.Admitters
+)
+
+// Default strategy names (the paper's own algorithms).
+const (
+	DefaultAllocator = strategy.DefaultAllocator
+	DefaultAdmitter  = strategy.DefaultAdmitter
+)
 
 // ReservationMode selects the advance-reservation strategy of Config.Mode.
 type ReservationMode = core.ReservationMode

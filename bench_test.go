@@ -312,6 +312,44 @@ func BenchmarkAblationLooseVsRigidBounds(b *testing.B) {
 	b.ReportMetric(rigidOver/n, "rigid-overcommit")
 }
 
+// BenchmarkArenaHeadToHead runs the full strategy roster over the loaded
+// campus workload — every registered allocator/admitter pair on the
+// identical seed — and reports the headline comparison as metrics: the
+// paper pair's drop rate and control-packet bill against the cheapest
+// rival's, plus roster throughput.
+func BenchmarkArenaHeadToHead(b *testing.B) {
+	cfg := armnet.ArenaConfig{Portables: 24, Duration: 900, BMin: 256e3, BMax: 1.2e6}
+	var paperDrop, paperMsgs, minMsgs float64
+	var pairs int
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = int64(i + 1)
+		entries, err := armnet.RunArena(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		pairs = len(entries)
+		low := -1.0
+		for _, e := range entries {
+			if e.Pair.Label() == "maxmin+table2" {
+				paperDrop += e.DropRate
+				paperMsgs += float64(e.Control.Messages)
+			}
+			if m := float64(e.Control.Messages); low < 0 || m < low {
+				low = m
+			}
+		}
+		minMsgs += low
+	}
+	n := float64(b.N)
+	b.ReportMetric(paperDrop/n, "paper-drop-rate")
+	b.ReportMetric(paperMsgs/n, "paper-control-msgs")
+	b.ReportMetric(minMsgs/n, "cheapest-control-msgs")
+	if secs := b.Elapsed().Seconds(); secs > 0 {
+		simulated := float64(cfg.Portables) * cfg.Duration * float64(pairs) * float64(b.N)
+		b.ReportMetric(simulated/secs, "portable-secs/s")
+	}
+}
+
 func max(a, b int) int {
 	if a > b {
 		return a

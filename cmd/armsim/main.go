@@ -43,6 +43,19 @@
 //
 //	armsim -topology campus -overload-policy default -portables 48
 //
+// The strategy flags swap the paper's algorithms for registered rivals:
+// -allocator selects the rate-allocation protocol (maxmin is the paper's
+// §5.3.1 ADVERTISE/UPDATE protocol; erica is the single-round-trip
+// explicit-rate scheme) and -admitter the admission control (table2 is
+// the paper's test battery; measured is headroom-based measurement
+// admission). -arena ignores -replications and instead runs every
+// allocator/admitter pair head-to-head over the *identical* campus
+// workload, printing a comparative table (utilization, drops, blocking,
+// control overhead):
+//
+//	armsim -allocator erica -admitter measured -portables 24
+//	armsim -arena -seed 1 -portables 24 -bmin 256e3 -bmax 1.2e6
+//
 // The observability flags arm the deterministic instrument and span
 // layer (zero cost and zero perturbation when off): -summary prints the
 // paper-§7-style results digest; -obs-snapshot/-obs-json write the
@@ -79,6 +92,9 @@ func main() {
 	dwell := flag.Float64("dwell", 180, "mean cell dwell time (s)")
 	seed := flag.Int64("seed", 1, "random seed")
 	modeName := flag.String("mode", "predictive", "reservation mode: predictive, brute-force, none")
+	allocator := flag.String("allocator", "", "rate-allocation strategy (default maxmin, the paper's protocol); see armnet.Allocators")
+	admitter := flag.String("admitter", "", "admission-control strategy (default table2, the paper's tests); see armnet.Admitters")
+	arena := flag.Bool("arena", false, "run every allocator/admitter pair head-to-head over the identical campus workload and print the comparative table")
 	topoFile := flag.String("topology-file", "", "build the environment from a JSON spec instead of a named topology")
 	bmin := flag.Float64("bmin", 32e3, "connection b_min (bits/s)")
 	bmax := flag.Float64("bmax", 128e3, "connection b_max (bits/s)")
@@ -103,6 +119,7 @@ func main() {
 		topo: *topo, topoFile: *topoFile,
 		portables: *portables, duration: *duration, dwell: *dwell,
 		modeName: *modeName, bmin: *bmin, bmax: *bmax,
+		allocator: *allocator, admitter: *admitter, arena: *arena,
 		mobilityPath: *mobilityTrace, tracePath: *tracePath,
 		faultPath: *faultPlan, overloadPath: *overloadPolicy,
 		sigTimeout: *signalTimeout, sigRetries: *signalRetries,
@@ -131,6 +148,9 @@ type scenario struct {
 	modeName       string
 	mode           armnet.ReservationMode
 	bmin, bmax     float64
+	allocator      string
+	admitter       string
+	arena          bool
 	mobilityPath   string
 	trace          *mobility.Trace // replayed read-only when set
 	tracePath      string          // JSONL event-trace destination ("" = off)
@@ -254,7 +274,8 @@ func (sc scenario) runOnce(seed int64) (replication, error) {
 	if err != nil {
 		return replication{}, err
 	}
-	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults, Overload: sc.overload}
+	cfg := armnet.Config{Seed: seed, Mode: sc.mode, Faults: sc.faults, Overload: sc.overload,
+		Allocator: sc.allocator, Admitter: sc.admitter}
 	cfg.Signal.Timeout = sc.sigTimeout
 	cfg.Signal.MaxRetries = sc.sigRetries
 	var spanBuf bytes.Buffer
@@ -336,6 +357,9 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 	if err := sc.prepare(); err != nil {
 		return err
 	}
+	if sc.arena {
+		return runArena(sc, seed, parallel, out, statsOut)
+	}
 	if replications <= 0 {
 		replications = 1
 	}
@@ -399,6 +423,29 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 	fmt.Fprint(out, tb.String())
 	n := float64(replications)
 	fmt.Fprintf(out, "mean drop rate: %.4f  mean block rate: %.4f\n", dropSum/n, blockSum/n)
+	fmt.Fprintf(statsOut, "armsim: %s\n", st)
+	return nil
+}
+
+// runArena runs the head-to-head strategy roster over the identical
+// campus workload and prints the comparative snapshot. Only the campus
+// workload is supported: the arena's claim is "same workload, different
+// strategies", and the campus scenario is the calibrated one.
+func runArena(sc scenario, seed int64, parallel int, out, statsOut io.Writer) error {
+	if sc.topo != "campus" || sc.topoJSON != nil {
+		return fmt.Errorf("-arena runs the campus workload; drop -topology/-topology-file")
+	}
+	cfg := armnet.ArenaConfig{
+		Seed: seed, Portables: sc.portables, Duration: sc.duration,
+		Dwell: sc.dwell, Mode: sc.mode, BMin: sc.bmin, BMax: sc.bmax,
+	}
+	entries, st, err := armnet.RunArenaSweep(context.Background(), cfg, parallel)
+	if err != nil {
+		return err
+	}
+	if _, err := out.Write(armnet.RenderArena(cfg, entries)); err != nil {
+		return err
+	}
 	fmt.Fprintf(statsOut, "armsim: %s\n", st)
 	return nil
 }

@@ -50,6 +50,7 @@ var areas = []area{
 	{Name: "eventbus", Pkg: "./internal/eventbus", Pattern: ".", Benchtime: "100000x"},
 	{Name: "obs", Pkg: "./internal/obs", Pattern: ".", Benchtime: "1000x"},
 	{Name: "sim", Pkg: ".", Pattern: "CampusEndToEnd|RunnerSweep|ScaleGridBuilding", Benchtime: "1x"},
+	{Name: "arena", Pkg: ".", Pattern: "ArenaHeadToHead", Benchtime: "1x"},
 }
 
 func main() {

@@ -49,6 +49,14 @@ type (
 	// TthPoint is one sample of the T_th sensitivity ablation.
 	TthPoint = sim.TthPoint
 
+	// ArenaConfig / ArenaEntry / StrategyPair: the head-to-head strategy
+	// arena — every registered allocator/admitter pair runs the
+	// *identical* campus workload (same seed, mobility and demands) and
+	// the entries compare outcome against control-plane cost.
+	ArenaConfig  = sim.ArenaConfig
+	ArenaEntry   = sim.ArenaEntry
+	StrategyPair = sim.StrategyPair
+
 	// GridConfig / GridResult: scale scenario on a rows×cols building.
 	GridConfig = sim.GridConfig
 	GridResult = sim.GridResult
@@ -94,6 +102,13 @@ var (
 	// derived seeds and merges the snapshots in replication order; the
 	// merged snapshot is identical at any worker count.
 	RunCampusObsSweep = sim.RunCampusObsSweep
+	// RunArena / RunArenaSweep run the strategy roster (serially / over a
+	// worker pool); RenderArena renders the stable comparative table and
+	// DefaultArenaPairs is the built-in roster.
+	RunArena          = sim.RunArena
+	RunArenaSweep     = sim.RunArenaSweep
+	RenderArena       = sim.RenderArena
+	DefaultArenaPairs = sim.DefaultArenaPairs
 	RunTthSensitivity = sim.RunTthSensitivity
 	RunGrid           = sim.RunGrid
 	RunBounds         = sim.RunBounds

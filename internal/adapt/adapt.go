@@ -1,6 +1,7 @@
 // Package adapt implements the paper's resource adaptation layer (§5.3):
-// it connects the distributed maxmin rate-allocation protocol to the
-// admission ledger, enforcing the two policy rules the paper sets —
+// it connects a rate-allocation strategy (the distributed maxmin protocol
+// by default) to the admission ledger, enforcing the two policy rules the
+// paper sets —
 //
 //  1. only connections of *static* portables are adapted (for a
 //     frequently handing-off mobile the signaling overhead would swamp
@@ -13,6 +14,10 @@
 // dynamically adjustable pool must be able to absorb at least one
 // maximum-allocation static connection from its neighboring cells,
 // clamped to the paper's 5%–20% band.
+//
+// The layer is allocator-agnostic: it talks to the strategy.Allocator
+// seam, so swapping the paper's protocol for a rival (ERICA fair-share)
+// changes nothing here.
 package adapt
 
 import (
@@ -23,6 +28,7 @@ import (
 	"armnet/internal/des"
 	"armnet/internal/maxmin"
 	"armnet/internal/qos"
+	"armnet/internal/strategy"
 	"armnet/internal/topology"
 )
 
@@ -34,7 +40,7 @@ type connInfo struct {
 	route    topology.Route
 	bounds   qos.Bounds
 	mobility qos.Mobility
-	// degraded caps the connection at b_min: it is out of the maxmin
+	// degraded caps the connection at b_min: it is out of the allocation
 	// protocol until Restore lifts the cap (overload degrade cascades).
 	degraded bool
 }
@@ -43,32 +49,61 @@ type connInfo struct {
 type Manager struct {
 	Sim    *des.Simulator
 	Ledger *admission.Ledger
-	Proto  *maxmin.Protocol
+	// Alloc is the rate-allocation strategy behind the seam (the paper's
+	// maxmin ADVERTISE/UPDATE protocol by default).
+	Alloc strategy.Allocator
 
 	conns map[string]*connInfo
 	// OnRate observes committed rate changes (for tests and metrics).
 	OnRate func(connID string, bandwidth float64)
 }
 
-// NewManager builds the adaptation layer over an existing ledger.
-// opts configures the underlying ADVERTISE/UPDATE protocol.
+// NewManager builds the adaptation layer over an existing ledger with
+// the default maxmin allocator. opts configures the underlying
+// ADVERTISE/UPDATE protocol.
 func NewManager(sim *des.Simulator, lg *admission.Ledger, opts maxmin.ProtocolOptions) (*Manager, error) {
 	if sim == nil || lg == nil {
 		return nil, fmt.Errorf("adapt: nil simulator or ledger")
 	}
+	alloc, err := strategy.NewAllocator(strategy.DefaultAllocator, sim, opts)
+	if err != nil {
+		return nil, err
+	}
+	return NewManagerWith(sim, lg, alloc)
+}
+
+// NewManagerWith builds the adaptation layer over an already-constructed
+// allocator: every ledger link is registered with its current excess
+// capacity, and the allocator's committed updates flow back into the
+// ledger.
+func NewManagerWith(sim *des.Simulator, lg *admission.Ledger, alloc strategy.Allocator) (*Manager, error) {
+	if sim == nil || lg == nil || alloc == nil {
+		return nil, fmt.Errorf("adapt: nil simulator, ledger, or allocator")
+	}
 	m := &Manager{
 		Sim:    sim,
 		Ledger: lg,
+		Alloc:  alloc,
 		conns:  make(map[string]*connInfo),
 	}
-	m.Proto = maxmin.NewProtocol(sim, opts)
 	for _, ls := range lg.Links() {
-		if err := m.Proto.AddLink(string(ls.Link.ID), clampNonNeg(ls.ExcessAvailable())); err != nil {
+		if err := m.Alloc.AddLink(string(ls.Link.ID), clampNonNeg(ls.ExcessAvailable())); err != nil {
 			return nil, err
 		}
 	}
-	m.Proto.OnUpdate = m.applyUpdate
+	m.Alloc.SetOnUpdate(m.applyUpdate)
 	return m, nil
+}
+
+// Maxmin returns the underlying maxmin protocol when the seated
+// allocator is the paper's default, and nil for rival strategies —
+// callers needing maxmin-specific state (the chaos auditor's WaterFill
+// oracle) must tolerate the nil.
+func (m *Manager) Maxmin() *maxmin.Protocol {
+	if u, ok := m.Alloc.(interface{ Underlying() *maxmin.Protocol }); ok {
+		return u.Underlying()
+	}
+	return nil
 }
 
 func clampNonNeg(v float64) float64 {
@@ -99,7 +134,7 @@ func (m *Manager) Register(connID string, route topology.Route, bounds qos.Bound
 	}
 	m.SyncRoute(route)
 	if mob == qos.Static {
-		m.Proto.Kick(connID)
+		m.Alloc.Kick(connID)
 	}
 	return nil
 }
@@ -109,7 +144,7 @@ func (m *Manager) addToProtocol(connID string, ci *connInfo) error {
 	for _, l := range ci.route.Links {
 		path = append(path, string(l.ID))
 	}
-	return m.Proto.AddConn(maxmin.Conn{ID: connID, Path: path, Demand: ci.bounds.Width()})
+	return m.Alloc.AddSession(strategy.Session{ID: connID, Path: path, Demand: ci.bounds.Width()})
 }
 
 // Unregister drops a connection (after release from the ledger) and
@@ -119,7 +154,7 @@ func (m *Manager) Unregister(connID string) {
 	if !ok {
 		return
 	}
-	m.Proto.RemoveConn(connID)
+	m.Alloc.RemoveSession(connID)
 	delete(m.conns, connID)
 	m.SyncRoute(ci.route)
 }
@@ -140,7 +175,7 @@ func (m *Manager) SetMobility(connID string, mob qos.Mobility) error {
 		// A mobile connection is pinned at b_min anyway; the degrade cap
 		// is moot and must not survive a later flip back to static.
 		ci.degraded = false
-		m.Proto.RemoveConn(connID)
+		m.Alloc.RemoveSession(connID)
 		for _, l := range ci.route.Links {
 			if err := m.Ledger.SetAllocation(connID, l.ID, ci.bounds.Min); err != nil {
 				return err
@@ -156,13 +191,13 @@ func (m *Manager) SetMobility(connID string, mob qos.Mobility) error {
 		return err
 	}
 	m.SyncRoute(ci.route)
-	m.Proto.Kick(connID)
+	m.Alloc.Kick(connID)
 	return nil
 }
 
 // Degrade caps an adaptable static connection at its guaranteed minimum:
-// it leaves the maxmin protocol, its allocation drops to b_min on every
-// link of its route, and the freed excess is re-advertised to the
+// it leaves the allocation protocol, its allocation drops to b_min on
+// every link of its route, and the freed excess is re-advertised to the
 // remaining sessions. It reports whether the connection was newly
 // degraded; unknown, mobile, already-degraded, and zero-width
 // connections are left alone.
@@ -172,7 +207,7 @@ func (m *Manager) Degrade(connID string) bool {
 		return false
 	}
 	ci.degraded = true
-	m.Proto.RemoveConn(connID)
+	m.Alloc.RemoveSession(connID)
 	for _, l := range ci.route.Links {
 		// The allocation may race a release; ignore missing allocations.
 		_ = m.Ledger.SetAllocation(connID, l.ID, ci.bounds.Min)
@@ -184,7 +219,7 @@ func (m *Manager) Degrade(connID string) bool {
 	return true
 }
 
-// Restore lifts a degrade cap: the connection rejoins the maxmin
+// Restore lifts a degrade cap: the connection rejoins the allocation
 // protocol and competes for excess again. It reports whether a cap was
 // actually lifted.
 func (m *Manager) Restore(connID string) bool {
@@ -201,7 +236,7 @@ func (m *Manager) Restore(connID string) bool {
 		return false
 	}
 	m.SyncRoute(ci.route)
-	m.Proto.Kick(connID)
+	m.Alloc.Kick(connID)
 	return true
 }
 
@@ -228,7 +263,7 @@ func (m *Manager) SyncLink(id topology.LinkID) error {
 	if ls == nil {
 		return fmt.Errorf("adapt: unknown link %s", id)
 	}
-	_, err := m.Proto.TriggerCapacityChange(string(id), clampNonNeg(ls.ExcessAvailable()))
+	_, err := m.Alloc.CapacityChanged(string(id), clampNonNeg(ls.ExcessAvailable()))
 	return err
 }
 

@@ -58,7 +58,7 @@ func (m *Manager) bookSet(link topology.LinkID, source string, amount float64) {
 	for _, s := range sortx.Keys(entries) {
 		total += entries[s]
 	}
-	_ = m.Ctl.Ledger.SetAdvance(link, total)
+	_ = m.ledger.SetAdvance(link, total)
 }
 
 // clearAdvance removes every per-portable advance reservation of p,
@@ -321,7 +321,7 @@ func (m *Manager) adjustPools(cell topology.CellID) {
 				}
 			}
 		}
-		if ls := m.Ctl.Ledger.Link(m.downlink(t)); ls != nil {
+		if ls := m.ledger.Link(m.downlink(t)); ls != nil {
 			ls.PoolFraction = adapt.PoolFraction(maxAlloc, ls.Capacity, m.Cfg.PoolMin, m.Cfg.PoolMax)
 		}
 	}

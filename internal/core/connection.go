@@ -46,7 +46,7 @@ func (m *Manager) OpenConnection(portable string, req qos.Request) (string, erro
 		p.conns[connID] = true
 		return connID, nil
 	}
-	res, err := m.Ctl.Admit(admission.Test{
+	res, err := m.Adm.Admit(admission.Test{
 		ConnID:     connID,
 		Req:        req,
 		Route:      route,
@@ -87,7 +87,7 @@ func (m *Manager) CloseConnection(connID string) error {
 		return fmt.Errorf("%w: %s", ErrUnknownConn, connID)
 	}
 	eventbus.Pub(m.Bus, eventbus.ConnectionClosed{Conn: connID, Portable: c.Portable})
-	m.Ctl.Ledger.Release(connID, c.Route)
+	m.ledger.Release(connID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {
 		m.Adpt.Unregister(connID)
@@ -127,7 +127,7 @@ func (m *Manager) setupMulticast(c *Connection, cell topology.CellID) {
 		if len(route.Links) == 0 {
 			continue
 		}
-		_, _ = m.Ctl.Admit(admission.Test{
+		_, _ = m.Adm.Admit(admission.Test{
 			ConnID:     c.ID + "@mc:" + string(dst),
 			Req:        c.Req,
 			Route:      route,
@@ -158,7 +158,7 @@ func (m *Manager) releaseMulticast(c *Connection) {
 		return
 	}
 	for dst, route := range c.Multicast.Branches {
-		m.Ctl.Ledger.Release(c.ID+"@mc:"+string(dst), route)
+		m.ledger.Release(c.ID+"@mc:"+string(dst), route)
 	}
 	c.Multicast = nil
 }
@@ -228,7 +228,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 		}
 		// Release the old path first (the portable has left the cell),
 		// then admit on the new one.
-		m.Ctl.Ledger.Release(connID, c.Route)
+		m.ledger.Release(connID, c.Route)
 		test := admission.Test{
 			ConnID:     connID,
 			Req:        c.Req,
@@ -238,14 +238,14 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 			Discipline: m.Cfg.Discipline,
 			LMax:       m.Cfg.LMax,
 		}
-		res, err := m.Ctl.Admit(test)
+		res, err := m.Adm.Admit(test)
 		if err == nil && !res.Admitted && m.Ovl != nil && res.FailedLink != "" {
 			// Degrade before drop: cap every adaptable connection on the
 			// contended link at b_min, then re-test once. Dropping an
 			// ongoing connection is the worst outcome the paper knows
 			// (§6); excess bandwidth must go first.
 			if m.degradeLink(res.FailedLink) > 0 {
-				res, err = m.Ctl.Admit(test)
+				res, err = m.Adm.Admit(test)
 			}
 		}
 		if err != nil || !res.Admitted {
@@ -281,7 +281,7 @@ func (m *Manager) HandoffPortable(id string, to topology.CellID) error {
 // the HandoffOutcome event.
 func (m *Manager) dropConnection(c *Connection, p *Portable) {
 	eventbus.Pub(m.Bus, eventbus.HandoffOutcome{Conn: c.ID, Portable: p.ID, Dropped: true})
-	m.Ctl.Ledger.Release(c.ID, c.Route)
+	m.ledger.Release(c.ID, c.Route)
 	m.releaseMulticast(c)
 	if m.Adpt != nil {
 		m.Adpt.Unregister(c.ID)

@@ -30,6 +30,7 @@ import (
 	"armnet/internal/sched"
 	"armnet/internal/signal"
 	"armnet/internal/sortx"
+	"armnet/internal/strategy"
 	"armnet/internal/topology"
 	"armnet/internal/wireless"
 )
@@ -83,7 +84,15 @@ type Config struct {
 	SlotDuration float64
 	// Adaptation enables §5.3 bandwidth adaptation (default on).
 	DisableAdaptation bool
-	// Proto tunes the rate-allocation protocol.
+	// Allocator names the registered rate-allocation strategy ("maxmin",
+	// "erica"); empty selects the paper's maxmin protocol.
+	Allocator string
+	// Admitter names the registered admission strategy ("table2",
+	// "measured"); empty selects the paper's Table 2 test.
+	Admitter string
+	// Proto tunes the rate-allocation protocol (the knobs are shared by
+	// every registered allocator: hop delay, δ threshold, fault delivery,
+	// retransmission, periodic repair).
 	Proto maxmin.ProtocolOptions
 	// Profiles tunes the profile servers.
 	Profiles profile.ServerOptions
@@ -172,7 +181,10 @@ type Manager struct {
 	Env *topology.Environment
 	Cfg Config
 	Rng *randx.Rand
-	Ctl *admission.Controller
+	// Adm is the admission strategy every setup, handoff, and
+	// renegotiation goes through (Table 2 by default, Config.Admitter
+	// selects rivals).
+	Adm strategy.Admitter
 	// Bus carries every control-plane decision as a typed event; Met,
 	// Latency, and the bandwidth watchers are its built-in subscribers.
 	Bus  *eventbus.Bus
@@ -207,6 +219,8 @@ type Manager struct {
 	// lastPred holds each portable's outcome-pending prediction; nil
 	// unless observability is armed.
 	lastPred map[string]predNote
+	// ledger is the shared reservation ledger every strategy books into.
+	ledger *admission.Ledger
 }
 
 type meetingState struct {
@@ -239,8 +253,8 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 		Env:          env,
 		Cfg:          cfg,
 		Rng:          randx.New(cfg.Seed),
-		Ctl:          admission.NewController(lg),
 		Bus:          bus,
+		ledger:       lg,
 		Pred:         predict.New(env.Universe, cfg.Profiles),
 		Met:          NewMetrics(bus),
 		portables:    make(map[string]*Portable),
@@ -250,7 +264,11 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 		rateWatchers: make(map[string]func(float64)),
 		channels:     make(map[topology.CellID]*wireless.CapacityProcess),
 	}
-	m.Ctl.Bus = bus
+	adm, err := strategy.NewAdmitter(cfg.Admitter, lg, bus)
+	if err != nil {
+		return nil, fmt.Errorf("core: %w", err)
+	}
+	m.Adm = adm
 	// Fault injection is wired before the protocol stacks are built so
 	// their delivery hooks are in place from the first control message.
 	if cfg.Faults != nil && !cfg.Faults.Empty() {
@@ -278,12 +296,19 @@ func NewManager(sim *des.Simulator, env *topology.Environment, cfg Config) (*Man
 		}
 	}, eventbus.KindBandwidthChange)
 	if !cfg.DisableAdaptation {
-		var err error
-		m.Adpt, err = adapt.NewManager(sim, lg, m.Cfg.Proto)
+		// The allocator is constructed exactly here — where the maxmin
+		// protocol was built pre-seam — so its construction-time timers
+		// (the re-ADVERTISE ticker) keep their position in the event
+		// schedule and default-pair traces stay byte-identical.
+		alloc, err := strategy.NewAllocator(cfg.Allocator, sim, m.Cfg.Proto)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		m.Adpt, err = adapt.NewManagerWith(sim, lg, alloc)
 		if err != nil {
 			return nil, err
 		}
-		m.Adpt.Proto.Bus = bus
+		m.Adpt.Alloc.SetBus(bus)
 		m.Adpt.OnRate = func(connID string, bw float64) {
 			if c, ok := m.conns[connID]; ok {
 				c.Bandwidth = bw
@@ -342,7 +367,7 @@ func (m *Manager) Portable(id string) *Portable { return m.portables[id] }
 func (m *Manager) Connection(id string) *Connection { return m.conns[id] }
 
 // Ledger exposes the underlying reservation ledger (read-mostly).
-func (m *Manager) Ledger() *admission.Ledger { return m.Ctl.Ledger }
+func (m *Manager) Ledger() *admission.Ledger { return m.ledger }
 
 // WatchBandwidth registers a callback invoked whenever the network adapts
 // the connection's bandwidth — the hook an adaptive application (e.g. a

@@ -31,8 +31,8 @@ func (m *Manager) Renegotiate(connID string, bounds qos.Bounds) error {
 	newReq.Bandwidth = bounds
 	// Release, then attempt admission with the new bounds; roll back on
 	// failure.
-	m.Ctl.Ledger.Release(connID, c.Route)
-	res, err := m.Ctl.Admit(admission.Test{
+	m.ledger.Release(connID, c.Route)
+	res, err := m.Adm.Admit(admission.Test{
 		ConnID:     connID,
 		Req:        newReq,
 		Route:      c.Route,
@@ -43,7 +43,7 @@ func (m *Manager) Renegotiate(connID string, bounds qos.Bounds) error {
 	})
 	if err == nil && !res.Admitted {
 		// Restore the previous reservation.
-		restored, rerr := m.Ctl.Admit(admission.Test{
+		restored, rerr := m.Adm.Admit(admission.Test{
 			ConnID:     connID,
 			Req:        c.Req,
 			Route:      c.Route,
@@ -94,7 +94,7 @@ func (m *Manager) AttachChannel(cell topology.CellID, levels []float64, dwellMea
 			_ = m.Adpt.CapacityChanged(link, capacity)
 			return
 		}
-		_ = m.Ctl.Ledger.SetCapacity(link, capacity)
+		_ = m.ledger.SetCapacity(link, capacity)
 	})
 	m.channels[cell] = cp
 	return cp, nil

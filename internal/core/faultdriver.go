@@ -19,7 +19,7 @@ import (
 // Failing an already-down link is a no-op.
 func (m *Manager) FailLink(link string) error {
 	id := topology.LinkID(link)
-	ls := m.Ctl.Ledger.Link(id)
+	ls := m.ledger.Link(id)
 	if ls == nil {
 		return fmt.Errorf("core: unknown link %s", link)
 	}
@@ -42,7 +42,7 @@ func (m *Manager) FailLink(link string) error {
 // its excess capacity to the adaptation protocol.
 func (m *Manager) RestoreLink(link string) error {
 	id := topology.LinkID(link)
-	ls := m.Ctl.Ledger.Link(id)
+	ls := m.ledger.Link(id)
 	if ls == nil {
 		return fmt.Errorf("core: unknown link %s", link)
 	}

@@ -28,7 +28,7 @@ func (m *Manager) armObs(opts obs.Options) {
 	}
 	if m.Adpt != nil {
 		src.Bottlenecks = func() []obs.LinkBottleneck {
-			sizes := m.Adpt.Proto.BottleneckSizes()
+			sizes := m.Adpt.Alloc.Bottlenecks()
 			out := make([]obs.LinkBottleneck, len(sizes))
 			for i, s := range sizes {
 				out[i] = obs.LinkBottleneck{Link: s.Link, Size: s.Size}
@@ -47,7 +47,7 @@ func (m *Manager) cellUtilization() []obs.CellUtil {
 	cells := m.Env.Universe.Cells()
 	out := make([]obs.CellUtil, 0, len(cells))
 	for _, c := range cells {
-		ls := m.Ctl.Ledger.Link(m.downlink(c.ID))
+		ls := m.ledger.Link(m.downlink(c.ID))
 		if ls == nil || ls.Capacity <= 0 {
 			continue
 		}

@@ -14,7 +14,7 @@ import (
 // downlink. It runs only when Config.Overload is non-nil, so a nil
 // policy arms no timers, subscribes nothing, and publishes nothing.
 func (m *Manager) armOverload(pol overload.Policy) {
-	m.Ovl = overload.NewController(m.Sim, m.Ctl.Ledger, m.Bus, pol, overload.Hooks{
+	m.Ovl = overload.NewController(m.Sim, m.ledger, m.Bus, pol, overload.Hooks{
 		// The signaling plane is built lazily; until a setup exists the
 		// queue is empty and nothing has retransmitted, so the hooks
 		// must not force construction.
@@ -126,7 +126,7 @@ func (m *Manager) DegradableConn(id string) bool {
 // wired to this manager and returns it; inspect Violations after the
 // run.
 func (m *Manager) OverloadAuditor() *overload.Auditor {
-	a := &overload.Auditor{Ledger: m.Ctl.Ledger, Degradable: m.DegradableConn}
+	a := &overload.Auditor{Ledger: m.ledger, Degradable: m.DegradableConn}
 	a.Watch(m.Bus)
 	return a
 }

@@ -17,7 +17,7 @@ func (m *Manager) SignalPlane() *signal.Plane {
 	if m.sigPlane == nil {
 		opts := m.Cfg.Signal
 		opts.Bus = m.Bus
-		m.sigPlane = signal.NewPlane(m.Sim, m.Ctl, opts)
+		m.sigPlane = signal.NewPlane(m.Sim, m.Adm, m.ledger, opts)
 	}
 	return m.sigPlane
 }
@@ -87,7 +87,7 @@ func (m *Manager) OpenConnectionAsync(portable string, req qos.Request, done fun
 		// The plane committed the reservation; make sure the world did
 		// not shift under us.
 		if cur, ok := m.portables[portable]; !ok || cur.Cell != originCell {
-			m.Ctl.Ledger.Release(connID, route)
+			m.ledger.Release(connID, route)
 			eventbus.Pub(m.Bus, eventbus.ConnectionBlocked{Portable: portable, Reason: "portable moved during setup"})
 			done("", fmt.Errorf("%w: portable moved during setup", ErrRejected))
 			return

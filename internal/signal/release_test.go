@@ -36,7 +36,8 @@ func releaseRig(t *testing.T, opts Options) (*des.Simulator, *Plane, topology.Ro
 		}
 	}, eventbus.KindSignalAbort)
 	opts.Bus = bus
-	return sim, NewPlane(sim, admission.NewController(admission.NewLedger(b)), opts), route, &releases
+	lg := admission.NewLedger(b)
+	return sim, NewPlane(sim, admission.NewController(lg), lg, opts), route, &releases
 }
 
 // TestCommitLossReleasesExactlyOnce: the commit confirmation is lost for
@@ -66,12 +67,12 @@ func TestCommitLossReleasesExactlyOnce(t *testing.T) {
 	if *releases != 1 {
 		t.Fatalf("committed reservation released %d times, want exactly 1", *releases)
 	}
-	if a := p.Ctl.Ledger.Link(route.Links[0].ID).Alloc("c1"); a != nil {
+	if a := p.Ledger.Link(route.Links[0].ID).Alloc("c1"); a != nil {
 		t.Fatal("reservation survived the commit-loss teardown")
 	}
 	// Re-admit under the same ID, then run past the original deadline: a
 	// stale timer releasing again would destroy this reservation.
-	if res, err := p.Ctl.Admit(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}); err != nil || !res.Admitted {
+	if res, err := p.Adm.Admit(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}); err != nil || !res.Admitted {
 		t.Fatalf("re-admission failed: %+v %v", res, err)
 	}
 	if err := sim.RunUntil(10); err != nil {
@@ -80,7 +81,7 @@ func TestCommitLossReleasesExactlyOnce(t *testing.T) {
 	if *releases != 1 {
 		t.Fatalf("stale release fired after the session finished (%d total)", *releases)
 	}
-	if a := p.Ctl.Ledger.Link(route.Links[0].ID).Alloc("c1"); a == nil {
+	if a := p.Ledger.Link(route.Links[0].ID).Alloc("c1"); a == nil {
 		t.Fatal("re-admitted reservation was destroyed by a stale release")
 	}
 }
@@ -112,7 +113,7 @@ func TestPostCommitTimeoutReleasesExactlyOnce(t *testing.T) {
 	if *releases != 1 {
 		t.Fatalf("committed reservation released %d times, want exactly 1", *releases)
 	}
-	if res, err := p.Ctl.Admit(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}); err != nil || !res.Admitted {
+	if res, err := p.Adm.Admit(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}); err != nil || !res.Admitted {
 		t.Fatalf("re-admission failed: %+v %v", res, err)
 	}
 	// The delayed confirmation lands around t≈4; it must be inert.
@@ -125,7 +126,7 @@ func TestPostCommitTimeoutReleasesExactlyOnce(t *testing.T) {
 	if *releases != 1 {
 		t.Fatalf("late confirmation caused another release (%d total)", *releases)
 	}
-	if a := p.Ctl.Ledger.Link(route.Links[0].ID).Alloc("c1"); a == nil {
+	if a := p.Ledger.Link(route.Links[0].ID).Alloc("c1"); a == nil {
 		t.Fatal("re-admitted reservation was destroyed by the late confirmation path")
 	}
 }

@@ -126,11 +126,23 @@ type orphan struct {
 	route  *topology.Route
 }
 
-// Plane runs setup sessions against one admission controller.
+// Admitter is the admission seam the plane drives its atomic end-to-end
+// test through. It is satisfied by *admission.Controller (the paper's
+// Table 2) and by any registered strategy admitter.
+type Admitter interface {
+	Admit(admission.Test) (admission.Result, error)
+}
+
+// Plane runs setup sessions against one admission strategy and its
+// shared ledger.
 type Plane struct {
-	Sim  *des.Simulator
-	Ctl  *admission.Controller
-	opts Options
+	Sim *des.Simulator
+	Adm Admitter
+	// Ledger is the reservation ledger the plane's tentative holds and
+	// teardown paths operate on — the same ledger the admitter books
+	// into.
+	Ledger *admission.Ledger
+	opts   Options
 	// pending holds tentative bandwidth per link from in-flight
 	// sessions, visible to competing forward passes.
 	pending map[topology.LinkID]float64
@@ -145,11 +157,13 @@ type Plane struct {
 	reaperArmed bool
 }
 
-// NewPlane builds a signaling plane.
-func NewPlane(sim *des.Simulator, ctl *admission.Controller, opts Options) *Plane {
+// NewPlane builds a signaling plane over an admission strategy and the
+// ledger it books into.
+func NewPlane(sim *des.Simulator, adm Admitter, lg *admission.Ledger, opts Options) *Plane {
 	return &Plane{
 		Sim:     sim,
-		Ctl:     ctl,
+		Adm:     adm,
+		Ledger:  lg,
 		opts:    opts.withDefaults(),
 		pending: make(map[topology.LinkID]float64),
 	}
@@ -218,7 +232,7 @@ func (p *Plane) Setup(t admission.Test, done func(Result)) {
 			// reservation down (holds were already converted).
 			p.Rollbacks++
 			eventbus.Pub(p.opts.Bus, eventbus.SignalAbort{Conn: t.ConnID, Reason: "timeout-after-commit", Hop: len(t.Route.Links)})
-			p.Ctl.Ledger.Release(t.ConnID, t.Route)
+			p.Ledger.Release(t.ConnID, t.Route)
 			s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
 			return
 		}
@@ -302,7 +316,7 @@ func (p *Plane) reap() {
 		p.Reclaimed++
 		if o.route != nil {
 			for _, l := range o.route.Links {
-				if ls := p.Ctl.Ledger.Link(l.ID); ls != nil {
+				if ls := p.Ledger.Link(l.ID); ls != nil {
 					if a := ls.Alloc(o.conn); a != nil {
 						eventbus.Pub(p.opts.Bus, eventbus.HoldReclaimed{
 							Conn: o.conn, Link: string(l.ID), Amount: a.Min,
@@ -311,7 +325,7 @@ func (p *Plane) reap() {
 					}
 				}
 			}
-			p.Ctl.Ledger.Release(o.conn, *o.route)
+			p.Ledger.Release(o.conn, *o.route)
 			continue
 		}
 		p.pending[o.link] -= o.amount
@@ -401,7 +415,7 @@ func (s *session) forward(i, attempt int) {
 		if s.finished {
 			return
 		}
-		ls := s.plane.Ctl.Ledger.Link(link.ID)
+		ls := s.plane.Ledger.Link(link.ID)
 		if ls == nil {
 			s.rollback(i, "unknown-link")
 			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
@@ -433,7 +447,7 @@ func (s *session) atDestination() {
 	// the ledger without them (they exist to serialize against
 	// *concurrent* sessions, which still hold theirs).
 	s.releaseHolds()
-	res, err := s.plane.Ctl.Admit(s.test)
+	res, err := s.plane.Adm.Admit(s.test)
 	if err != nil {
 		s.finish(Result{Err: err, Latency: s.plane.Sim.Now() - s.start})
 		return
@@ -478,7 +492,7 @@ func (s *session) sendConfirm(res admission.Result, attempt int) {
 				if !s.retry(n+j, attempt, func(a int) { s.sendConfirm(res, a) }) {
 					s.plane.Rollbacks++
 					eventbus.Pub(s.plane.opts.Bus, eventbus.SignalAbort{Conn: s.test.ConnID, Reason: "commit-lost", Hop: n + j})
-					s.plane.Ctl.Ledger.Release(s.test.ConnID, s.test.Route)
+					s.plane.Ledger.Release(s.test.ConnID, s.test.Route)
 					s.finish(Result{Err: fmt.Errorf("%w: commit confirmation", ErrLost), Latency: s.plane.Sim.Now() - s.start})
 				}
 				return

@@ -25,7 +25,8 @@ func rig(t *testing.T) (*des.Simulator, *Plane, topology.Route) {
 		t.Fatal(err)
 	}
 	sim := des.New()
-	return sim, NewPlane(sim, admission.NewController(admission.NewLedger(b)), Options{}), route
+	lg := admission.NewLedger(b)
+	return sim, NewPlane(sim, admission.NewController(lg), lg, Options{}), route
 }
 
 func req(min float64) qos.Request {
@@ -138,7 +139,7 @@ func TestEndToEndRejectionRollsBack(t *testing.T) {
 		if p.Pending(l.ID) != 0 {
 			t.Fatalf("stale pending on %s", l.ID)
 		}
-		if p.Ctl.Ledger.Link(l.ID).Alloc("c1") != nil {
+		if p.Ledger.Link(l.ID).Alloc("c1") != nil {
 			t.Fatalf("allocation committed despite rejection")
 		}
 	}
@@ -150,7 +151,7 @@ func TestEndToEndRejectionRollsBack(t *testing.T) {
 func TestForwardPassSeesCommittedLoad(t *testing.T) {
 	sim, p, route := rig(t)
 	// Pre-commit 1.55 Mb/s directly through the controller.
-	res, err := p.Ctl.Admit(admission.Test{ConnID: "big", Req: req(1.55e6), Route: route, Mobility: qos.Mobile})
+	res, err := p.Adm.Admit(admission.Test{ConnID: "big", Req: req(1.55e6), Route: route, Mobility: qos.Mobile})
 	if err != nil || !res.Admitted {
 		t.Fatalf("precommit failed: %v %v", err, res.Reason)
 	}
@@ -281,7 +282,7 @@ func TestLostCommitConfirmationReleasesReservation(t *testing.T) {
 	// The reservation committed at the destination must have been torn
 	// down when the confirmation could not be delivered.
 	for _, l := range route.Links {
-		if p.Ctl.Ledger.Link(l.ID).Alloc("c1") != nil {
+		if p.Ledger.Link(l.ID).Alloc("c1") != nil {
 			t.Fatalf("reservation leaked on %s", l.ID)
 		}
 	}
@@ -346,7 +347,7 @@ func TestCrashAfterCommitReclaimsViaLease(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, l := range route.Links {
-		if p.Ctl.Ledger.Link(l.ID).Alloc("c1") != nil {
+		if p.Ledger.Link(l.ID).Alloc("c1") != nil {
 			t.Fatalf("committed reservation not reclaimed on %s", l.ID)
 		}
 	}
@@ -357,7 +358,7 @@ func TestCrashAfterCommitReclaimsViaLease(t *testing.T) {
 
 func TestDownLinkRejectsForwardPass(t *testing.T) {
 	sim, p, route := rig(t)
-	p.Ctl.Ledger.Link(route.Links[1].ID).Down = true
+	p.Ledger.Link(route.Links[1].ID).Down = true
 	var got Result
 	p.Setup(admission.Test{ConnID: "c1", Req: req(64e3), Route: route, Mobility: qos.Mobile}, func(r Result) { got = r })
 	if err := sim.RunUntil(1); err != nil {

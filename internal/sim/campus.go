@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 
+	"armnet/internal/admission"
 	"armnet/internal/core"
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
@@ -17,6 +18,7 @@ import (
 	"armnet/internal/randx"
 	"armnet/internal/runner"
 	"armnet/internal/stats"
+	"armnet/internal/strategy"
 	"armnet/internal/topology"
 )
 
@@ -41,6 +43,10 @@ type CampusConfig struct {
 	BMin, BMax float64
 	// Tth overrides the static/mobile threshold (0 = manager default).
 	Tth float64
+	// Allocator and Admitter name the registered resource-management
+	// strategies (core.Config passthrough); empty selects the paper's
+	// defaults (maxmin, table2).
+	Allocator, Admitter string
 	// Obs arms the observability layer: the run returns a deterministic
 	// instrument snapshot alongside its result. Off by default — the
 	// disabled path constructs nothing and perturbs nothing, so traces
@@ -166,7 +172,7 @@ func (c *campusCollector) result(mode core.ReservationMode) CampusResult {
 
 // RunCampus executes the integrated scenario and returns its metrics.
 func RunCampus(cfg CampusConfig) (CampusResult, error) {
-	res, _, err := runCampus(cfg, nil)
+	res, _, _, err := runCampus(cfg, nil)
 	return res, err
 }
 
@@ -175,7 +181,7 @@ func RunCampus(cfg CampusConfig) (CampusResult, error) {
 // The trace is byte-identical for a given config at any worker count.
 func RunCampusTrace(cfg CampusConfig) (CampusResult, []byte, error) {
 	var buf bytes.Buffer
-	res, _, err := runCampus(cfg, &buf)
+	res, _, _, err := runCampus(cfg, &buf)
 	return res, buf.Bytes(), err
 }
 
@@ -183,23 +189,38 @@ func RunCampusTrace(cfg CampusConfig) (CampusResult, []byte, error) {
 // returns the deterministic instrument snapshot alongside the metrics.
 func RunCampusObs(cfg CampusConfig) (CampusResult, *obs.Snapshot, error) {
 	cfg.Obs = true
-	return runCampus(cfg, nil)
+	res, snap, _, err := runCampus(cfg, nil)
+	return res, snap, err
 }
 
-func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, *obs.Snapshot, error) {
+// campusProbe carries end-of-run readings the arena compares across
+// strategy pairs but the plain campus results never exposed: the
+// allocator's control-plane work and the final committed utilization.
+type campusProbe struct {
+	control strategy.ControlStats
+	// util is the mean committed downlink utilization over all cells at
+	// the end of the run — (ΣMin + advance) / capacity, the same ratio
+	// the overload controller escalates on.
+	util float64
+}
+
+func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, *obs.Snapshot, campusProbe, error) {
 	cfg = cfg.withDefaults()
 	env, err := topology.BuildCampus()
 	if err != nil {
-		return CampusResult{}, nil, err
+		return CampusResult{}, nil, campusProbe{}, err
 	}
 	simulator := des.New()
-	coreCfg := core.Config{Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth}
+	coreCfg := core.Config{
+		Seed: cfg.Seed, Mode: cfg.Mode, Tth: cfg.Tth,
+		Allocator: cfg.Allocator, Admitter: cfg.Admitter,
+	}
 	if cfg.Obs {
 		coreCfg.Obs = &obs.Options{Spans: cfg.Spans}
 	}
 	mgr, err := core.NewManager(simulator, env, coreCfg)
 	if err != nil {
-		return CampusResult{}, nil, err
+		return CampusResult{}, nil, campusProbe{}, err
 	}
 	col := newCampusCollector(mgr.Bus)
 	var rec *eventbus.Recorder
@@ -212,7 +233,7 @@ func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, *obs.Snapshot,
 	}
 	trace, err := mobility.RandomWalk(env.Universe, names, cfg.Dwell, cfg.Duration, randx.New(cfg.Seed+1))
 	if err != nil {
-		return CampusResult{}, nil, err
+		return CampusResult{}, nil, campusProbe{}, err
 	}
 	req := qos.Request{
 		Bandwidth: qos.Bounds{Min: cfg.BMin, Max: cfg.BMax},
@@ -229,20 +250,48 @@ func runCampus(cfg CampusConfig, traceW io.Writer) (CampusResult, *obs.Snapshot,
 		_ = mgr.HandoffPortable(mv.Portable, mv.To)
 	})
 	if err := simulator.RunUntil(cfg.Duration); err != nil {
-		return CampusResult{}, nil, err
+		return CampusResult{}, nil, campusProbe{}, err
 	}
 	if rec != nil && rec.Err() != nil {
-		return CampusResult{}, nil, rec.Err()
+		return CampusResult{}, nil, campusProbe{}, rec.Err()
 	}
 	var snap *obs.Snapshot
 	if mgr.Obs != nil {
 		mgr.Obs.Finish(cfg.Duration)
 		if err := mgr.Obs.SpanErr(); err != nil {
-			return CampusResult{}, nil, err
+			return CampusResult{}, nil, campusProbe{}, err
 		}
 		snap = mgr.Obs.Snapshot()
 	}
-	return col.result(cfg.Mode), snap, nil
+	probe := campusProbe{util: meanDownlinkUtil(env, mgr.Ledger())}
+	if mgr.Adpt != nil {
+		probe.control = mgr.Adpt.Alloc.Stats()
+	}
+	return col.result(cfg.Mode), snap, probe, nil
+}
+
+// meanDownlinkUtil averages the committed utilization of every cell's
+// wireless downlink. Universe.Cells is sorted, so the float sum is
+// stable run to run.
+func meanDownlinkUtil(env *topology.Environment, lg *admission.Ledger) float64 {
+	cells := env.Universe.Cells()
+	total, n := 0.0, 0
+	for _, c := range cells {
+		l := env.Backbone.Link(c.BaseStation, topology.AirNode(c.ID))
+		if l == nil {
+			continue
+		}
+		ls := lg.Link(l.ID)
+		if ls == nil || ls.Capacity <= 0 {
+			continue
+		}
+		total += (ls.SumMin() + ls.AdvanceReserved) / ls.Capacity
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return total / float64(n)
 }
 
 // RunCampusObsSweep runs `replications` independent observed campus trials
@@ -264,7 +313,7 @@ func RunCampusObsSweep(ctx context.Context, cfg CampusConfig, replications, work
 	trials, _, err := runner.Map(ctx, workers, replications, func(_ context.Context, i int) (trial, error) {
 		c := cfg
 		c.Seed = seeds[i]
-		res, snap, err := runCampus(c, nil)
+		res, snap, _, err := runCampus(c, nil)
 		return trial{res: res, snap: snap}, err
 	})
 	if err != nil {

@@ -161,14 +161,17 @@ func RunChaosSweep(ctx context.Context, cfg ChaosConfig, replications, workers i
 // bus — shared by the chaos and overload harnesses.
 func newChaosAuditor(mgr *core.Manager, gapTol float64) *faults.Auditor {
 	gap := func() float64 {
-		if mgr.Adpt == nil || mgr.Adpt.Proto == nil {
+		// Rival allocators have no WaterFill oracle: the maxmin
+		// re-convergence audit only applies to the paper's protocol.
+		if mgr.Adpt == nil || mgr.Adpt.Maxmin() == nil {
 			return 0
 		}
-		oracle, err := maxmin.WaterFill(mgr.Adpt.Proto.Problem())
+		pr := mgr.Adpt.Maxmin()
+		oracle, err := maxmin.WaterFill(pr.Problem())
 		if err != nil {
 			return math.Inf(1)
 		}
-		return oracle.MaxDiff(mgr.Adpt.Proto.Rates())
+		return oracle.MaxDiff(pr.Rates())
 	}
 	aud := &faults.Auditor{
 		Ledger:         mgr.Ledger(),

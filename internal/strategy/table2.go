@@ -1,0 +1,23 @@
+package strategy
+
+import (
+	"armnet/internal/admission"
+	"armnet/internal/eventbus"
+)
+
+func init() {
+	RegisterAdmitter(DefaultAdmitter, func(lg *admission.Ledger, bus *eventbus.Bus) Admitter {
+		c := admission.NewController(lg)
+		c.Bus = bus
+		return &table2Admitter{c: c}
+	})
+}
+
+// table2Admitter adapts the paper's Table 2 round-trip admission test to
+// the Admitter seam — another pure forwarding shim over the pre-seam
+// concrete controller.
+type table2Admitter struct{ c *admission.Controller }
+
+func (t *table2Admitter) Name() string { return DefaultAdmitter }
+
+func (t *table2Admitter) Admit(ts admission.Test) (admission.Result, error) { return t.c.Admit(ts) }
