@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena
+.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena testnet
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, the chaos, overload, observability and arena
-## gates, and the bench-capture smoke check.
-ci: vet build race fuzz-short trace-determinism chaos overload obs arena bench-smoke
+## replication check, the chaos, overload, observability, arena and
+## testnet gates, and the bench-capture smoke check.
+ci: vet build race fuzz-short trace-determinism chaos overload obs arena testnet bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,7 +38,8 @@ fuzz:
 ## has one. Timings scroll by; use bench-capture to record them.
 BENCHPKGS = . ./internal/admission ./internal/dataplane ./internal/des \
 	./internal/eventbus ./internal/maxmin ./internal/obs \
-	./internal/reserve ./internal/sched ./internal/strategy
+	./internal/reserve ./internal/sched ./internal/strategy \
+	./internal/testnet ./internal/wire
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCHPKGS)
 
@@ -92,6 +93,14 @@ obs:
 arena:
 	$(GO) test -race -run 'Arena' ./internal/sim
 	$(GO) test -race ./internal/strategy
+
+## testnet: the live-vs-sim oracle — the scripted campus scenario run
+## over the loopback wire fabric must produce a controller trace
+## byte-identical to the pure simulation, deterministic node traces,
+## and a clean final audit. Socket-free (the UDP cluster test runs in
+## `race` but skips under -short).
+testnet:
+	$(GO) test -run 'TestLoopback' -count=1 ./internal/testnet
 
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.

@@ -1,0 +1,266 @@
+// Command armnode runs the live-mode testnet: the signal and maxmin
+// control protocols over real UDP between processes, checked against the
+// deterministic simulation.
+//
+// Modes:
+//
+//	armnode -mode loopback
+//	    Run the scripted scenario twice in-process — pure simulation and
+//	    loopback wire fabric — and diff the controller traces. The
+//	    single-binary correctness check (no sockets).
+//
+//	armnode -mode node -name west [-listen 127.0.0.1:0] [-trace west.jsonl]
+//	    Serve one node agent over UDP until a shutdown frame arrives,
+//	    then write its JSONL trace. Prints "LISTEN <addr>" once bound.
+//
+//	armnode -mode controller -peers core=ADDR,east=ADDR,west=ADDR
+//	    Drive the scripted scenario over UDP against running node
+//	    agents.
+//
+//	armnode -mode orchestrate [-dir DIR]
+//	    The full 3-process cluster: spawn one armnode per agent, run the
+//	    controller against them, collect their traces, and diff the live
+//	    run against the loopback reference.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"armnet/internal/testnet"
+)
+
+func main() {
+	var (
+		mode    = flag.String("mode", "loopback", "loopback | node | controller | orchestrate")
+		name    = flag.String("name", "", "agent name (node mode)")
+		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address (node mode)")
+		trace   = flag.String("trace", "", "trace output file (node mode; empty = stdout)")
+		peers   = flag.String("peers", "", "comma-separated name=addr list (controller mode)")
+		dir     = flag.String("dir", "", "working directory for traces (orchestrate mode; empty = temp)")
+		horizon = flag.Float64("horizon", 2.5, "wall-clock settle horizon in seconds (controller/orchestrate)")
+	)
+	flag.Parse()
+
+	var err error
+	switch *mode {
+	case "loopback":
+		err = runLoopback()
+	case "node":
+		err = runNode(*name, *listen, *trace)
+	case "controller":
+		_, err = runController(*peers, *horizon)
+	case "orchestrate":
+		err = runOrchestrate(*dir, *horizon)
+	default:
+		err = fmt.Errorf("unknown mode %q", *mode)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "armnode:", err)
+		os.Exit(1)
+	}
+}
+
+// runLoopback is the in-process oracle: sim vs loopback controller
+// traces must be byte-identical and both audits clean.
+func runLoopback() error {
+	sim, err := testnet.Run(testnet.Config{Mode: testnet.ModeSim})
+	if err != nil {
+		return err
+	}
+	loop, err := testnet.Run(testnet.Config{Mode: testnet.ModeLoopback})
+	if err != nil {
+		return err
+	}
+	if d := testnet.DiffTraces(sim.ControllerTrace, loop.ControllerTrace); d != "" {
+		return fmt.Errorf("controller trace diverged from sim reference:\n%s", d)
+	}
+	if err := clean(sim); err != nil {
+		return err
+	}
+	if err := clean(loop); err != nil {
+		return err
+	}
+	report("loopback", loop)
+	fmt.Printf("trace: %d controller events identical to sim reference\n",
+		testnet.TraceEvents(loop.ControllerTrace))
+	return nil
+}
+
+// runNode serves one agent until shutdown, then writes its trace.
+func runNode(name, listen, traceFile string) error {
+	if name == "" {
+		return fmt.Errorf("node mode needs -name")
+	}
+	addr, err := net.ResolveUDPAddr("udp", listen)
+	if err != nil {
+		return err
+	}
+	pc, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return err
+	}
+	defer pc.Close()
+	fmt.Printf("LISTEN %s\n", pc.LocalAddr())
+	node, err := testnet.ServeNodeUDP(name, pc)
+	if err != nil {
+		return err
+	}
+	tr, err := node.Trace()
+	if err != nil {
+		return err
+	}
+	if traceFile == "" {
+		_, err = os.Stdout.Write(tr)
+		return err
+	}
+	return os.WriteFile(traceFile, tr, 0o644)
+}
+
+// runController drives the scenario over UDP against running agents.
+func runController(peerList string, horizon float64) (*testnet.Result, error) {
+	peers := map[string]string{}
+	for _, kv := range strings.Split(peerList, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad peer %q (want name=addr)", kv)
+		}
+		peers[k] = v
+	}
+	res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
+	if err != nil {
+		return nil, err
+	}
+	if err := clean(res); err != nil {
+		return res, err
+	}
+	report("udp", res)
+	return res, nil
+}
+
+// runOrchestrate spawns one armnode process per agent, runs the
+// controller, and diffs the cluster's traces against the loopback
+// reference.
+func runOrchestrate(dir string, horizon float64) error {
+	ref, err := testnet.Run(testnet.Config{Mode: testnet.ModeLoopback})
+	if err != nil {
+		return err
+	}
+	self, err := os.Executable()
+	if err != nil {
+		return err
+	}
+	if dir == "" {
+		dir, err = os.MkdirTemp("", "armnode")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+
+	agents := []string{"core", "east", "west"}
+	peers := map[string]string{}
+	procs := map[string]*exec.Cmd{}
+	defer func() {
+		for _, cmd := range procs {
+			if cmd.Process != nil {
+				cmd.Process.Kill()
+			}
+		}
+	}()
+	for _, a := range agents {
+		cmd := exec.Command(self, "-mode", "node", "-name", a,
+			"-trace", filepath.Join(dir, a+".jsonl"))
+		stdout, err := cmd.StdoutPipe()
+		if err != nil {
+			return err
+		}
+		cmd.Stderr = os.Stderr
+		if err := cmd.Start(); err != nil {
+			return fmt.Errorf("spawn %s: %w", a, err)
+		}
+		procs[a] = cmd
+		addr, err := awaitListen(stdout)
+		if err != nil {
+			return fmt.Errorf("%s never bound: %w", a, err)
+		}
+		peers[a] = addr
+		fmt.Printf("spawned %s (pid %d) on %s\n", a, cmd.Process.Pid, addr)
+	}
+
+	res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
+	if err != nil {
+		return err
+	}
+	for a, cmd := range procs {
+		if err := cmd.Wait(); err != nil {
+			return fmt.Errorf("node %s exited: %w", a, err)
+		}
+	}
+	if err := clean(res); err != nil {
+		return err
+	}
+	report("cluster", res)
+
+	traces := map[string][]byte{}
+	for _, a := range agents {
+		tr, err := os.ReadFile(filepath.Join(dir, a+".jsonl"))
+		if err != nil {
+			return err
+		}
+		traces[a] = tr
+	}
+	if res.FrameDrops > 0 {
+		fmt.Printf("skipping frame diff: %d drops triggered retransmission\n", res.FrameDrops)
+		return nil
+	}
+	if diffs := testnet.DiffNodeFrames(traces, ref.NodeTraces); len(diffs) > 0 {
+		return fmt.Errorf("live frame multisets diverge from loopback reference: %v", diffs)
+	}
+	fmt.Printf("trace: per-node frame multisets identical to loopback reference\n")
+	return nil
+}
+
+// awaitListen reads the child's LISTEN line (with a deadline).
+func awaitListen(r interface{ Read([]byte) (int, error) }) (string, error) {
+	type lineErr struct {
+		line string
+		err  error
+	}
+	ch := make(chan lineErr, 1)
+	go func() {
+		sc := bufio.NewScanner(r)
+		for sc.Scan() {
+			if addr, ok := strings.CutPrefix(sc.Text(), "LISTEN "); ok {
+				ch <- lineErr{line: addr}
+				return
+			}
+		}
+		ch <- lineErr{err: fmt.Errorf("stdout closed: %v", sc.Err())}
+	}()
+	select {
+	case le := <-ch:
+		return le.line, le.err
+	case <-time.After(10 * time.Second):
+		return "", fmt.Errorf("timeout")
+	}
+}
+
+func clean(res *testnet.Result) error {
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("%v run failed audit: %s", res.Mode, strings.Join(res.Violations, "; "))
+	}
+	return nil
+}
+
+func report(label string, res *testnet.Result) {
+	fmt.Printf("%s: %d commits, %d aborts, %d frames (%d dropped), live=%v, audit clean\n",
+		label, res.Commits, res.Aborted, res.FramesSent, res.FrameDrops, res.Live)
+}

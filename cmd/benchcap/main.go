@@ -35,7 +35,7 @@ import (
 // and the fixed iteration count it runs with.
 type area struct {
 	Name      string // BENCH_<Name>.json
-	Pkg       string // go test package path, relative to -root
+	Pkg       string // go test package path(s), space-separated, relative to -root
 	Pattern   string // -bench regexp
 	Benchtime string // fixed -benchtime, always an Nx count
 }
@@ -49,6 +49,7 @@ var areas = []area{
 	{Name: "maxmin", Pkg: "./internal/maxmin", Pattern: ".", Benchtime: "500x"},
 	{Name: "eventbus", Pkg: "./internal/eventbus", Pattern: ".", Benchtime: "100000x"},
 	{Name: "obs", Pkg: "./internal/obs", Pattern: ".", Benchtime: "1000x"},
+	{Name: "wire", Pkg: "./internal/wire ./internal/testnet", Pattern: ".", Benchtime: "1000x"},
 	{Name: "sim", Pkg: ".", Pattern: "CampusEndToEnd|RunnerSweep|ScaleGridBuilding", Benchtime: "1x"},
 	{Name: "arena", Pkg: ".", Pattern: "ArenaHeadToHead", Benchtime: "1x"},
 }
@@ -137,8 +138,8 @@ func main() {
 // The raw output is echoed on failure so a broken benchmark is
 // diagnosable from the capture log alone.
 func runArea(root string, a area, benchtime string) (benchx.Parsed, error) {
-	cmd := exec.Command("go", "test", "-run", "^$", "-bench", a.Pattern,
-		"-benchmem", "-benchtime", benchtime, a.Pkg)
+	cmd := exec.Command("go", append([]string{"test", "-run", "^$", "-bench", a.Pattern,
+		"-benchmem", "-benchtime", benchtime}, strings.Fields(a.Pkg)...)...)
 	cmd.Dir = root
 	var buf bytes.Buffer
 	cmd.Stdout = &buf

@@ -1,0 +1,124 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"armnet/internal/des"
+)
+
+// TestSimDelegation pins that the adapter schedules exactly what the
+// simulator would: same firing order, same Now values, cancelation
+// honored.
+func TestSimDelegation(t *testing.T) {
+	sim := des.New()
+	clk := Sim(sim)
+	var order []string
+	clk.PostAfter(0.2, func() { order = append(order, "post@0.2") })
+	clk.After(0.1, func() { order = append(order, "after@0.1") })
+	canceled := clk.After(0.15, func() { order = append(order, "canceled") })
+	canceled.Cancel()
+	tick := clk.Every(0.3, func() { order = append(order, "tick") })
+	clk.After(0.65, func() { tick.Cancel() })
+	if err := sim.RunUntil(2); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"after@0.1", "post@0.2", "tick", "tick"}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+	if now := clk.Now(); now != 2 {
+		t.Fatalf("Now = %v, want 2", now)
+	}
+}
+
+// TestWallSerialized pins the live-mode contract: callbacks scheduled
+// from many goroutines all execute inside one critical section, and Run
+// joins it.
+func TestWallSerialized(t *testing.T) {
+	w := NewWall()
+	const n = 50
+	inSection := 0
+	max := 0
+	var wg sync.WaitGroup
+	fire := func() {
+		defer wg.Done()
+		w.Run(func() {
+			inSection++
+			if inSection > max {
+				max = inSection
+			}
+			inSection--
+		})
+	}
+	count := 0
+	for i := 0; i < n; i++ {
+		wg.Add(2)
+		go fire()
+		w.After(0.001, func() { count++; wg.Done() })
+	}
+	wg.Wait()
+	if max != 1 {
+		t.Fatalf("observed %d concurrent sections, want 1", max)
+	}
+	if count != n {
+		t.Fatalf("fired %d timers, want %d", count, n)
+	}
+}
+
+func TestWallTimers(t *testing.T) {
+	w := NewWall()
+	if w.Now() < 0 {
+		t.Fatal("Now went backwards")
+	}
+	done := make(chan struct{})
+	w.PostAfter(0.001, func() { close(done) })
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("PostAfter never fired")
+	}
+
+	// Negative delays clamp to immediate, not panic.
+	neg := make(chan struct{})
+	w.PostAfter(-1, func() { close(neg) })
+	select {
+	case <-neg:
+	case <-time.After(2 * time.Second):
+		t.Fatal("negative-delay PostAfter never fired")
+	}
+
+	stopped := w.After(time.Hour.Seconds(), func() { t.Error("canceled timer fired") })
+	stopped.Cancel()
+	stopped.Cancel() // idempotent
+
+	ticks := make(chan struct{}, 16)
+	tk := w.Every(0.002, func() { ticks <- struct{}{} })
+	for i := 0; i < 2; i++ {
+		select {
+		case <-ticks:
+		case <-time.After(2 * time.Second):
+			t.Fatal("ticker never fired")
+		}
+	}
+	tk.Cancel()
+	tk.Cancel()
+	if w.Now() <= 0 {
+		t.Fatal("Now did not advance")
+	}
+}
+
+func TestWallEveryRejectsNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Every(0) did not panic")
+		}
+	}()
+	NewWall().Every(0, func() {})
+}

@@ -95,6 +95,9 @@ const (
 	// KindBreakerState marks the signaling circuit breaker changing state
 	// (closed, open, half-open).
 	KindBreakerState
+	// KindWireDelivery marks a testnet node receiving one encoded control
+	// frame off the wire (live mode or in-process loopback).
+	KindWireDelivery
 
 	kindCount int = iota
 )
@@ -130,6 +133,7 @@ var kindNames = [kindCount]string{
 	KindSetupShed:           "setup-shed",
 	KindDegradeCascade:      "degrade-cascade",
 	KindBreakerState:        "breaker-state",
+	KindWireDelivery:        "wire-delivery",
 }
 
 // String returns the stable wire name used in JSONL traces.
@@ -392,6 +396,22 @@ type BreakerState struct {
 	To     string `json:"to"`
 	Reason string `json:"reason"`
 }
+
+// WireDelivery is published by a testnet node for every control frame
+// it receives: the node's name, the protocol the frame belongs to
+// ("signal" or "maxmin"), the wire message type, and the frame size.
+// Hop is the protocol's 0-based transmission index (matching the
+// delivery-hook coordinate of internal/faults).
+type WireDelivery struct {
+	Node  string `json:"node"`
+	Proto string `json:"proto"`
+	Type  string `json:"msg"`
+	Conn  string `json:"conn,omitempty"`
+	Hop   int    `json:"hop"`
+	Bytes int    `json:"bytes"`
+}
+
+func (WireDelivery) Kind() Kind { return KindWireDelivery }
 
 func (ConnectionRequested) Kind() Kind { return KindConnectionRequested }
 func (ConnectionAdmitted) Kind() Kind  { return KindConnectionAdmitted }

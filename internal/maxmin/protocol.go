@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"armnet/internal/clock"
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
 	"armnet/internal/sortx"
@@ -140,7 +141,7 @@ func (ls *linkState) advertisedFor(c string) float64 {
 // configured round trips the initiator issues an UPDATE that commits the
 // new rate at every hop and fires OnUpdate.
 type Protocol struct {
-	Sim  *des.Simulator
+	clk  clock.Clock
 	Opts ProtocolOptions
 	// OnUpdate, when non-nil, observes every committed rate change.
 	OnUpdate func(conn string, rate float64)
@@ -175,8 +176,15 @@ type protoConn struct {
 // NewProtocol builds a protocol instance over the simulator. A positive
 // ReadvertisePeriod arms the periodic repair ticker immediately.
 func NewProtocol(sim *des.Simulator, opts ProtocolOptions) *Protocol {
+	return NewProtocolOn(clock.Sim(sim), opts)
+}
+
+// NewProtocolOn is NewProtocol with an explicit time source — the
+// live-mode constructor. All protocol timers (sweep travel, retransmit
+// backoff, the re-ADVERTISE repair ticker) run on the given clock.
+func NewProtocolOn(clk clock.Clock, opts ProtocolOptions) *Protocol {
 	pr := &Protocol{
-		Sim:    sim,
+		clk:    clk,
 		Opts:   opts.withDefaults(),
 		links:  make(map[string]*linkState),
 		conns:  make(map[string]*protoConn),
@@ -184,7 +192,7 @@ func NewProtocol(sim *des.Simulator, opts ProtocolOptions) *Protocol {
 		dirty:  make(map[string]bool),
 	}
 	if pr.Opts.ReadvertisePeriod > 0 {
-		sim.Every(pr.Opts.ReadvertisePeriod, pr.readvertise)
+		clk.Every(pr.Opts.ReadvertisePeriod, pr.readvertise)
 	}
 	return pr
 }
@@ -241,7 +249,7 @@ func (pr *Protocol) retryControl(id string, hop, attempt int, resend func(attemp
 	pr.Retransmits++
 	eventbus.Pub(pr.Bus, eventbus.ControlRetransmit{Proto: "maxmin", Conn: id, Hop: hop, Attempt: attempt + 1})
 	backoff := pr.Opts.RetryBase * float64(int(1)<<attempt)
-	pr.Sim.PostAfter(backoff, func() { resend(attempt + 1) })
+	pr.clk.PostAfter(backoff, func() { resend(attempt + 1) })
 	return true
 }
 
@@ -487,7 +495,7 @@ func (pr *Protocol) runRoundAttempt(id string, round int, prevStamp float64, att
 	}
 	final := stamp
 	eventbus.Pub(pr.Bus, eventbus.AdaptationRound{Conn: id, Round: round, Stamp: final})
-	pr.Sim.PostAfter(travel, func() {
+	pr.clk.PostAfter(travel, func() {
 		if round < pr.Opts.RoundTrips {
 			pr.runRound(id, round+1, final)
 			return
@@ -558,7 +566,7 @@ func (pr *Protocol) sendUpdateAttempt(id string, rate float64, attempt int) {
 			delete(ls.mSet, id)
 		}
 	}
-	pr.Sim.PostAfter(travel, func() {
+	pr.clk.PostAfter(travel, func() {
 		changed := math.Abs(pc.rate-rate) > 1e-9*(1+math.Abs(rate))
 		pc.rate = rate
 		if changed && pr.OnUpdate != nil {

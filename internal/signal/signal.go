@@ -22,6 +22,7 @@ import (
 	"sort"
 
 	"armnet/internal/admission"
+	"armnet/internal/clock"
 	"armnet/internal/des"
 	"armnet/internal/eventbus"
 	"armnet/internal/topology"
@@ -134,9 +135,11 @@ type Admitter interface {
 }
 
 // Plane runs setup sessions against one admission strategy and its
-// shared ledger.
+// shared ledger. All timer work — session deadlines, retransmission
+// backoffs, the hold-lease reaper — goes through an injectable Clock,
+// so the same state machine runs on the simulator and on wall time.
 type Plane struct {
-	Sim *des.Simulator
+	clk clock.Clock
 	Adm Admitter
 	// Ledger is the reservation ledger the plane's tentative holds and
 	// teardown paths operate on — the same ledger the admitter books
@@ -158,10 +161,16 @@ type Plane struct {
 }
 
 // NewPlane builds a signaling plane over an admission strategy and the
-// ledger it books into.
+// ledger it books into, running on the simulator's clock.
 func NewPlane(sim *des.Simulator, adm Admitter, lg *admission.Ledger, opts Options) *Plane {
+	return NewPlaneOn(clock.Sim(sim), adm, lg, opts)
+}
+
+// NewPlaneOn is NewPlane with an explicit time source — the live-mode
+// constructor (pass a *clock.Wall to run setups on real time).
+func NewPlaneOn(clk clock.Clock, adm Admitter, lg *admission.Ledger, opts Options) *Plane {
 	return &Plane{
-		Sim:     sim,
+		clk:     clk,
 		Adm:     adm,
 		Ledger:  lg,
 		opts:    opts.withDefaults(),
@@ -220,9 +229,9 @@ func (p *Plane) deadlineFor(route topology.Route) float64 {
 // at the simulated completion time.
 func (p *Plane) Setup(t admission.Test, done func(Result)) {
 	p.Sessions++
-	start := p.Sim.Now()
+	start := p.clk.Now()
 	s := &session{plane: p, test: t, done: done, start: start}
-	deadline := p.Sim.After(p.deadlineFor(t.Route), func() {
+	deadline := p.clk.After(p.deadlineFor(t.Route), func() {
 		if s.finished {
 			return
 		}
@@ -233,11 +242,11 @@ func (p *Plane) Setup(t admission.Test, done func(Result)) {
 			p.Rollbacks++
 			eventbus.Pub(p.opts.Bus, eventbus.SignalAbort{Conn: t.ConnID, Reason: "timeout-after-commit", Hop: len(t.Route.Links)})
 			p.Ledger.Release(t.ConnID, t.Route)
-			s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
+			s.finish(Result{Err: ErrTimeout, Latency: p.clk.Now() - start})
 			return
 		}
 		s.rollback(len(s.held), "timeout")
-		s.finish(Result{Err: ErrTimeout, Latency: p.Sim.Now() - start})
+		s.finish(Result{Err: ErrTimeout, Latency: p.clk.Now() - start})
 	})
 	s.deadline = deadline
 	p.track(s)
@@ -276,7 +285,7 @@ func (p *Plane) Crash() int {
 		if s.deadline != nil {
 			s.deadline.Cancel()
 		}
-		now := p.Sim.Now()
+		now := p.clk.Now()
 		if s.committed {
 			route := s.test.Route
 			p.orphans = append(p.orphans, orphan{conn: s.test.ConnID, at: now, route: &route})
@@ -301,12 +310,12 @@ func (p *Plane) armReaper() {
 		return
 	}
 	p.reaperArmed = true
-	p.Sim.Every(p.opts.HoldLease, p.reap)
+	p.clk.Every(p.opts.HoldLease, p.reap)
 }
 
 // reap reclaims orphans older than the lease.
 func (p *Plane) reap() {
-	now := p.Sim.Now()
+	now := p.clk.Now()
 	kept := p.orphans[:0]
 	for _, o := range p.orphans {
 		if now-o.at < p.opts.HoldLease {
@@ -348,7 +357,7 @@ type session struct {
 	held      []topology.LinkID // links with tentative holds, in order
 	finished  bool
 	committed bool
-	deadline  *des.Event
+	deadline  clock.Timer
 }
 
 func (s *session) finish(r Result) {
@@ -382,7 +391,7 @@ func (s *session) retry(hop, attempt int, resend func(attempt int)) bool {
 		Proto: "signal", Conn: s.test.ConnID, Hop: hop, Attempt: attempt + 1,
 	})
 	backoff := p.opts.RetryBase * float64(int(1)<<attempt)
-	p.Sim.PostAfter(backoff, func() { resend(attempt + 1) })
+	p.clk.PostAfter(backoff, func() { resend(attempt + 1) })
 	return true
 }
 
@@ -405,32 +414,32 @@ func (s *session) forward(i, attempt int) {
 		if drop {
 			if !s.retry(i, attempt, func(a int) { s.forward(i, a) }) {
 				s.rollback(i, "lost")
-				s.finish(Result{Err: fmt.Errorf("%w at hop %d", ErrLost, i+1), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+				s.finish(Result{Err: fmt.Errorf("%w at hop %d", ErrLost, i+1), FailedHop: i + 1, Latency: s.plane.clk.Now() - s.start})
 			}
 			return
 		}
 		delay += extra
 	}
-	s.plane.Sim.PostAfter(delay, func() {
+	s.plane.clk.PostAfter(delay, func() {
 		if s.finished {
 			return
 		}
 		ls := s.plane.Ledger.Link(link.ID)
 		if ls == nil {
 			s.rollback(i, "unknown-link")
-			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			s.finish(Result{Err: fmt.Errorf("%w %d: unknown link %s", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.clk.Now() - s.start})
 			return
 		}
 		if ls.Down {
 			s.rollback(i, "link-down")
-			s.finish(Result{Err: fmt.Errorf("%w: %s", ErrLinkDown, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			s.finish(Result{Err: fmt.Errorf("%w: %s", ErrLinkDown, link.ID), FailedHop: i + 1, Latency: s.plane.clk.Now() - s.start})
 			return
 		}
 		need := s.test.Req.Bandwidth.Min
 		avail := ls.Capacity - ls.AdvanceReserved - ls.Pool() - ls.SumMin() - s.plane.pending[link.ID]
 		if need > avail {
 			s.rollback(i, "hop-rejected")
-			s.finish(Result{Err: fmt.Errorf("%w %d (%s)", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.Sim.Now() - s.start})
+			s.finish(Result{Err: fmt.Errorf("%w %d (%s)", ErrHopRejected, i+1, link.ID), FailedHop: i + 1, Latency: s.plane.clk.Now() - s.start})
 			return
 		}
 		s.plane.pending[link.ID] += need
@@ -449,7 +458,7 @@ func (s *session) atDestination() {
 	s.releaseHolds()
 	res, err := s.plane.Adm.Admit(s.test)
 	if err != nil {
-		s.finish(Result{Err: err, Latency: s.plane.Sim.Now() - s.start})
+		s.finish(Result{Err: err, Latency: s.plane.clk.Now() - s.start})
 		return
 	}
 	if !res.Admitted {
@@ -461,7 +470,7 @@ func (s *session) atDestination() {
 		s.finish(Result{
 			Admission: res,
 			Err:       fmt.Errorf("%w: %s at %s", ErrEndToEnd, res.Reason, res.FailedLink),
-			Latency:   s.plane.Sim.Now() - s.start,
+			Latency:   s.plane.clk.Now() - s.start,
 		})
 		return
 	}
@@ -493,19 +502,19 @@ func (s *session) sendConfirm(res admission.Result, attempt int) {
 					s.plane.Rollbacks++
 					eventbus.Pub(s.plane.opts.Bus, eventbus.SignalAbort{Conn: s.test.ConnID, Reason: "commit-lost", Hop: n + j})
 					s.plane.Ledger.Release(s.test.ConnID, s.test.Route)
-					s.finish(Result{Err: fmt.Errorf("%w: commit confirmation", ErrLost), Latency: s.plane.Sim.Now() - s.start})
+					s.finish(Result{Err: fmt.Errorf("%w: commit confirmation", ErrLost), Latency: s.plane.clk.Now() - s.start})
 				}
 				return
 			}
 			total += extra
 		}
 	}
-	s.plane.Sim.PostAfter(total, func() {
+	s.plane.clk.PostAfter(total, func() {
 		if s.finished {
 			return
 		}
 		s.plane.Commits++
-		latency := s.plane.Sim.Now() - s.start
+		latency := s.plane.clk.Now() - s.start
 		eventbus.Pub(s.plane.opts.Bus, eventbus.SignalCommit{Conn: s.test.ConnID, Latency: latency})
 		s.finish(Result{Admission: res, Latency: latency})
 	})

@@ -36,6 +36,7 @@ func DefaultArenaPairs() []StrategyPair {
 	return []StrategyPair{
 		{Allocator: "maxmin", Admitter: "table2"},
 		{Allocator: "erica", Admitter: "table2"},
+		{Allocator: "logweight", Admitter: "table2"},
 		{Allocator: "maxmin", Admitter: "measured"},
 		{Allocator: "erica", Admitter: "measured"},
 	}

@@ -130,6 +130,73 @@ func checkEricaInvariants(t *testing.T, rates map[string]float64, capacity float
 	}
 }
 
+// TestLogWeightProportionalShares: on a saturated single bottleneck
+// whose sharers are all demand-uncapped, the log-weight allocator must
+// converge to the exact Robert–Véber weighted proportional split
+// C·w_c/Σw — tilted toward the heavy flow, but only logarithmically.
+func TestLogWeightProportionalShares(t *testing.T) {
+	sim := des.New()
+	a, err := strategy.NewAllocator("logweight", sim, maxmin.ProtocolOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.AddLink("wl", 6e6); err != nil {
+		t.Fatal(err)
+	}
+	demands := map[string]float64{"heavy": 8e6, "light": 2e6}
+	for _, id := range []string{"heavy", "light"} {
+		if err := a.AddSession(strategy.Session{ID: id, Path: []string{"wl"}, Demand: demands[id]}); err != nil {
+			t.Fatal(err)
+		}
+		a.Kick(id)
+	}
+	if err := sim.RunUntil(10); err != nil {
+		t.Fatal(err)
+	}
+	// light (demand 2e6) is capped below its weighted share, so the fixed
+	// point is heavy = C − 2e6, light = demand.
+	rates := a.Rates()
+	if r := rates["light"]; math.Abs(r-2e6) > 1 {
+		t.Fatalf("rate[light] = %v, want demand cap 2e6", r)
+	}
+	if r := rates["heavy"]; math.Abs(r-4e6) > 1 {
+		t.Fatalf("rate[heavy] = %v, want leftover 4e6", r)
+	}
+	// Drop capacity so both flows saturate uncapped: the committed rates
+	// must land exactly on the log-weighted proportional split.
+	if _, err := a.CapacityChanged("wl", 3e6); err != nil {
+		t.Fatal(err)
+	}
+	if err := sim.RunUntil(20); err != nil {
+		t.Fatal(err)
+	}
+	wh := 1 + math.Log1p(8e6)
+	wl := 1 + math.Log1p(2e6)
+	rates = a.Rates()
+	sum := 0.0
+	for id, want := range map[string]float64{
+		"heavy": 3e6 * wh / (wh + wl),
+		"light": 3e6 * wl / (wh + wl),
+	} {
+		got := rates[id]
+		sum += got
+		if math.Abs(got-want) > 1 {
+			t.Fatalf("rate[%s] = %v, want weighted share %v", id, got, want)
+		}
+	}
+	if math.Abs(sum-3e6) > 1 {
+		t.Fatalf("weighted shares sum to %v, want full capacity 3e6", sum)
+	}
+	if rates["heavy"] <= rates["light"] || rates["heavy"] > 1.1*rates["light"] {
+		t.Fatalf("log weighting should tilt mildly toward the heavy flow: %v vs %v",
+			rates["heavy"], rates["light"])
+	}
+	st := a.Stats()
+	if st.Sessions == 0 || st.Messages == 0 {
+		t.Fatalf("logweight reported no control work: %+v", st)
+	}
+}
+
 // measuredRig builds a 2-hop route whose wireless hop is the bottleneck
 // and returns the admitter and its ledger.
 func measuredRig(t *testing.T) (strategy.Admitter, *admission.Ledger, topology.Route) {

@@ -1,0 +1,56 @@
+package testnet
+
+import (
+	"testing"
+
+	"armnet/internal/des"
+	"armnet/internal/wire"
+)
+
+// BenchmarkLoopbackRoundTrip measures one full fabric round trip: encode
+// a hop frame, deliver it to a node (decode + trace record + ack build),
+// and verify the ack — the per-hop cost the loopback testnet adds on top
+// of the simulated protocols.
+func BenchmarkLoopbackRoundTrip(b *testing.B) {
+	sim := des.New()
+	n := NewNode("bench", sim)
+	buf := make([]byte, 0, wire.MaxFrame)
+	msg := wire.SignalSetup{Conn: "portable-17:2", Hop: 3, Bandwidth: 256e3}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		frame, err := wire.AppendFrame(buf[:0], uint32(i+1), msg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ack, _, err := n.HandleFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		am, _, err := wire.Decode(ack)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if a, ok := am.(wire.Ack); !ok || a.AckSeq != uint32(i+1) {
+			b.Fatalf("bad ack %v", am)
+		}
+		if n.buf.Len() > 1<<20 {
+			n.buf.Reset() // cap trace growth; the recorder keeps writing
+		}
+	}
+}
+
+// BenchmarkLoopbackScenario runs the whole scripted campus scenario over
+// the loopback fabric — the end-to-end number the bench trajectory
+// tracks for the testnet area.
+func BenchmarkLoopbackScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Mode: ModeLoopback})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			b.Fatalf("violations: %v", res.Violations)
+		}
+	}
+}

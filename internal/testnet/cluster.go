@@ -1,0 +1,70 @@
+package testnet
+
+import (
+	"sort"
+
+	"armnet/internal/topology"
+)
+
+// Cluster partitions a backbone's links among node agents: one agent per
+// zone (owning the zone switch's subtree — base stations and air
+// interfaces) plus a core agent for everything else (core↔zone trunks,
+// wired hosts).
+type Cluster struct {
+	// Names lists the agents in deterministic order, core first.
+	Names []string
+	owner map[topology.LinkID]string
+}
+
+// CoreAgent owns every link not claimed by a zone.
+const CoreAgent = "core"
+
+// NewCluster derives the agent partition from the environment.
+func NewCluster(env *topology.Environment) *Cluster {
+	c := &Cluster{owner: make(map[topology.LinkID]string)}
+	zones := append([]string(nil), env.Universe.Zones()...)
+	sort.Strings(zones)
+	zoneOf := make(map[topology.NodeID]string)
+	for _, zone := range zones {
+		zoneOf[topology.NodeID("sw-"+zone)] = zone
+		for _, cid := range env.Universe.Zone(zone) {
+			zoneOf[env.Universe.Cell(cid).BaseStation] = zone
+			zoneOf[topology.AirNode(cid)] = zone
+		}
+	}
+	for _, l := range env.Backbone.Links() {
+		// A link belongs to the deeper endpoint's zone: the trunk
+		// core↔sw-west touches sw-west, so west owns it; purely central
+		// links (core↔host) fall to the core agent.
+		owner := CoreAgent
+		if z, ok := zoneOf[l.To]; ok {
+			owner = z
+		} else if z, ok := zoneOf[l.From]; ok {
+			owner = z
+		}
+		c.owner[l.ID] = owner
+	}
+	names := map[string]bool{CoreAgent: true}
+	for _, o := range c.owner {
+		names[o] = true
+	}
+	c.Names = append(c.Names, CoreAgent)
+	rest := make([]string, 0, len(names))
+	for n := range names {
+		if n != CoreAgent {
+			rest = append(rest, n)
+		}
+	}
+	sort.Strings(rest)
+	c.Names = append(c.Names, rest...)
+	return c
+}
+
+// Assign returns the agent owning a link (core for unknown links, so a
+// misrouted frame still lands somewhere observable).
+func (c *Cluster) Assign(link topology.LinkID) string {
+	if o, ok := c.owner[link]; ok {
+		return o
+	}
+	return CoreAgent
+}

@@ -1,0 +1,119 @@
+package testnet
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+
+	"armnet/internal/eventbus"
+	"armnet/internal/wire"
+)
+
+// Node is one testnet agent: it decodes every frame addressed to it,
+// records a WireDelivery event on its own bus (serialized to a JSONL
+// trace), and acks. Protocol state lives in the controller; the node
+// mirrors delivery, which is exactly what the live-vs-sim diff needs.
+//
+// A node is single-threaded: the loopback fabric calls HandleFrame
+// synchronously, and ServeUDP runs one read loop.
+type Node struct {
+	Name string
+	// Received counts non-ack frames processed; Malformed counts frames
+	// Decode rejected.
+	Received, Malformed int
+
+	bus    *eventbus.Bus
+	rec    *eventbus.Recorder
+	buf    bytes.Buffer
+	ackSeq uint32
+	ackBuf []byte
+}
+
+// NewNode builds a node stamping its trace from the given clock — the
+// shared simulator clock in loopback mode, the node's own wall clock in
+// a live process.
+func NewNode(name string, clk eventbus.Clock) *Node {
+	n := &Node{Name: name, ackBuf: make([]byte, 0, wire.MaxFrame)}
+	n.bus = eventbus.New(clk)
+	n.rec = eventbus.AttachRecorder(n.bus, &n.buf)
+	return n
+}
+
+// HandleFrame processes one datagram: decode, record, ack. The returned
+// ack frame shares the node's buffer and is valid until the next call;
+// shutdown reports whether the frame asked the node to exit.
+func (n *Node) HandleFrame(frame []byte) (ack []byte, shutdown bool, err error) {
+	m, seq, err := wire.Decode(frame)
+	if err != nil {
+		n.Malformed++
+		return nil, false, err
+	}
+	if _, isAck := m.(wire.Ack); !isAck {
+		n.Received++
+		proto, conn, hop := classify(m)
+		eventbus.Pub(n.bus, eventbus.WireDelivery{
+			Node: n.Name, Proto: proto, Type: m.WireType().String(),
+			Conn: conn, Hop: hop, Bytes: len(frame),
+		})
+	}
+	n.ackSeq++
+	ack, err = wire.AppendFrame(n.ackBuf[:0], n.ackSeq, wire.Ack{AckSeq: seq})
+	if err != nil {
+		return nil, false, err
+	}
+	n.ackBuf = ack[:0]
+	_, shutdown = m.(wire.Shutdown)
+	return ack, shutdown, nil
+}
+
+// Trace returns the node's JSONL event trace, failing if the recorder
+// latched a write or sequence error.
+func (n *Node) Trace() ([]byte, error) {
+	if err := n.rec.Err(); err != nil {
+		return nil, err
+	}
+	return n.buf.Bytes(), nil
+}
+
+// ServeUDP answers frames on the socket until a Shutdown frame arrives
+// or the socket fails. Malformed datagrams are counted and dropped.
+func (n *Node) ServeUDP(pc *net.UDPConn) error {
+	buf := make([]byte, wire.MaxFrame+1)
+	for {
+		sz, addr, err := pc.ReadFromUDP(buf)
+		if err != nil {
+			return err
+		}
+		ack, shutdown, err := n.HandleFrame(buf[:sz])
+		if err != nil {
+			continue
+		}
+		if _, err := pc.WriteToUDP(ack, addr); err != nil {
+			return fmt.Errorf("testnet: %s ack: %w", n.Name, err)
+		}
+		if shutdown {
+			return nil
+		}
+	}
+}
+
+// classify maps a wire message to the protocol family and addressing the
+// WireDelivery event records.
+func classify(m wire.Message) (proto, conn string, hop int) {
+	switch v := m.(type) {
+	case wire.SignalSetup:
+		return "signal", v.Conn, int(v.Hop)
+	case wire.SignalCommit:
+		return "signal", v.Conn, int(v.Hop)
+	case wire.SignalAbort:
+		return "signal", v.Conn, int(v.Hop)
+	case wire.Advertise:
+		return "maxmin", v.Conn, int(v.Hop)
+	case wire.Update:
+		return "maxmin", v.Conn, int(v.Hop)
+	case wire.Hello:
+		return "ctl", "", 0
+	default:
+		return "ctl", "", 0
+	}
+}

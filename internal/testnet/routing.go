@@ -1,0 +1,96 @@
+package testnet
+
+import (
+	"armnet/internal/topology"
+)
+
+// Routing maps the opaque (conn, hop) coordinates the delivery-hook
+// seams expose back to concrete links, so the transport can address the
+// node agent owning each hop. It mirrors the protocols' own hop
+// conventions exactly:
+//
+//   - signal: forward hops 0..n-1 cross route link i; the commit
+//     confirmation's reverse hops n..2n-1 cross link 2n-1-hop.
+//   - maxmin ADVERTISE: a two-pass out-and-back sweep over the
+//     deduplicated path of length m — hop < m crosses path[hop], hop in
+//     m..2m-1 crosses path[2m-1-hop].
+//   - maxmin UPDATE: one forward pass, hop i crosses path[i].
+type Routing struct {
+	signal  map[string][]topology.LinkID
+	path    map[string][]topology.LinkID
+	reserve map[string]float64
+	// Unrouted counts hook invocations for connections or hops with no
+	// registered mapping — always zero in a healthy run.
+	Unrouted int
+}
+
+// NewRouting returns an empty registry.
+func NewRouting() *Routing {
+	return &Routing{
+		signal:  make(map[string][]topology.LinkID),
+		path:    make(map[string][]topology.LinkID),
+		reserve: make(map[string]float64),
+	}
+}
+
+// Register records a connection's route before its setup session starts
+// (the forward pass consults it from hop 0). Re-registering — a handoff
+// to a new route — replaces the mapping.
+func (r *Routing) Register(conn string, route topology.Route, reserve float64) {
+	links := make([]topology.LinkID, len(route.Links))
+	for i, l := range route.Links {
+		links[i] = l.ID
+	}
+	r.signal[conn] = links
+	// The maxmin path mirrors Protocol.AddConn's dedup (uniqueLinks).
+	seen := make(map[topology.LinkID]bool, len(links))
+	path := make([]topology.LinkID, 0, len(links))
+	for _, l := range links {
+		if !seen[l] {
+			seen[l] = true
+			path = append(path, l)
+		}
+	}
+	r.path[conn] = path
+	r.reserve[conn] = reserve
+}
+
+// Reserve returns the connection's registered b_min (zero if unknown).
+func (r *Routing) Reserve(conn string) float64 { return r.reserve[conn] }
+
+// SignalHop resolves a signal-plane hop: the link it crosses and whether
+// it is a reverse-pass commit confirmation hop.
+func (r *Routing) SignalHop(conn string, hop int) (link topology.LinkID, commit bool, ok bool) {
+	links := r.signal[conn]
+	n := len(links)
+	switch {
+	case hop >= 0 && hop < n:
+		return links[hop], false, true
+	case hop >= n && hop < 2*n:
+		return links[2*n-1-hop], true, true
+	}
+	r.Unrouted++
+	return "", false, false
+}
+
+// MaxminHop resolves a maxmin hop for an UPDATE (update=true, forward
+// pass) or an ADVERTISE sweep (out-and-back).
+func (r *Routing) MaxminHop(conn string, hop int, update bool) (topology.LinkID, bool) {
+	path := r.path[conn]
+	m := len(path)
+	if update {
+		if hop >= 0 && hop < m {
+			return path[hop], true
+		}
+		r.Unrouted++
+		return "", false
+	}
+	switch {
+	case hop >= 0 && hop < m:
+		return path[hop], true
+	case hop >= m && hop < 2*m:
+		return path[2*m-1-hop], true
+	}
+	r.Unrouted++
+	return "", false
+}

@@ -1,0 +1,336 @@
+package testnet
+
+import (
+	"fmt"
+	"net"
+	"time"
+
+	"armnet/internal/topology"
+	"armnet/internal/wire"
+)
+
+// transport is the delivery fabric behind the protocol hook seams. Both
+// implementations translate (conn, hop) coordinates into one wire frame
+// addressed to the agent owning the hop's link; they differ only in how
+// the frame travels.
+//
+// Hop-level frames carry addressing (conn, hop, the reserve bandwidth
+// the routing registry knows), not protocol internals: stamped rates
+// live inside the controller's state machines, which the hook seam
+// deliberately hides.
+type transport interface {
+	// SignalDeliver implements signal.Deliver.
+	SignalDeliver(conn string, hop int) (drop bool, delay float64)
+	// MaxminDeliver implements maxmin.Deliver.
+	MaxminDeliver(conn string, hop int, update bool) (drop bool, delay float64)
+	// Abort mirrors a rollback sweep to the fabric (driven off the
+	// controller's SignalAbort events, since rollbacks release state
+	// locally rather than crossing the delivery seam).
+	Abort(conn string, hop int, reason string)
+	// Hello announces the controller to every agent; Shutdown asks the
+	// agents to exit after acking.
+	Hello() error
+	Shutdown()
+	// Sent counts payload frames delivered; Drops counts frames that
+	// timed out unacked (always zero on loopback).
+	Sent() int
+	Drops() int
+	// Errs reports fabric-level faults (unroutable hops, bad acks).
+	Errs() []string
+}
+
+// signalFrame builds the frame for one signal-plane hop.
+func signalFrame(r *Routing, conn string, hop int) (wire.Message, topology.LinkID, bool) {
+	link, commit, ok := r.SignalHop(conn, hop)
+	if !ok {
+		return nil, "", false
+	}
+	bw := r.Reserve(conn)
+	if commit {
+		return wire.SignalCommit{Conn: conn, Hop: uint16(hop), Bandwidth: bw}, link, true
+	}
+	return wire.SignalSetup{Conn: conn, Hop: uint16(hop), Bandwidth: bw}, link, true
+}
+
+// maxminFrame builds the frame for one maxmin hop.
+func maxminFrame(r *Routing, conn string, hop int, update bool) (wire.Message, topology.LinkID, bool) {
+	link, ok := r.MaxminHop(conn, hop, update)
+	if !ok {
+		return nil, "", false
+	}
+	if update {
+		return wire.Update{Conn: conn, Hop: uint16(hop)}, link, true
+	}
+	return wire.Advertise{Conn: conn, Hop: uint16(hop)}, link, true
+}
+
+// abortFrame builds the frame for a rollback sweep: it travels toward
+// the source, addressed to the agent owning the failed hop's link (the
+// last link actually reached when the failure was past the route).
+func abortFrame(r *Routing, conn string, hop int, reason string) (wire.Message, topology.LinkID, bool) {
+	links := r.signal[conn]
+	if len(links) == 0 {
+		return nil, "", false
+	}
+	i := hop
+	if i >= len(links) {
+		i = len(links) - 1
+	}
+	if i < 0 {
+		i = 0
+	}
+	return wire.SignalAbort{Conn: conn, Hop: uint16(hop), Reason: reason}, links[i], true
+}
+
+// loopbackTransport delivers frames by calling the in-process node
+// agents directly: synchronous, zero added delay, no sockets. Running on
+// the simulator clock it is fully deterministic, which makes it the CI
+// fabric.
+type loopbackTransport struct {
+	cluster *Cluster
+	routing *Routing
+	nodes   map[string]*Node
+	seq     uint32
+	buf     []byte
+	sent    int
+	errs    []string
+}
+
+func newLoopback(cluster *Cluster, routing *Routing, nodes map[string]*Node) *loopbackTransport {
+	return &loopbackTransport{
+		cluster: cluster, routing: routing, nodes: nodes,
+		buf: make([]byte, 0, wire.MaxFrame),
+	}
+}
+
+func (t *loopbackTransport) failf(format string, args ...any) {
+	t.errs = append(t.errs, fmt.Sprintf(format, args...))
+}
+
+func (t *loopbackTransport) send(agent string, m wire.Message) {
+	n := t.nodes[agent]
+	if n == nil {
+		t.failf("no node agent %q", agent)
+		return
+	}
+	t.seq++
+	frame, err := wire.AppendFrame(t.buf[:0], t.seq, m)
+	if err != nil {
+		t.failf("encode %T: %v", m, err)
+		return
+	}
+	t.buf = frame[:0]
+	ack, _, err := n.HandleFrame(frame)
+	if err != nil {
+		t.failf("%s rejected %T: %v", agent, m, err)
+		return
+	}
+	am, _, err := wire.Decode(ack)
+	if err != nil {
+		t.failf("%s ack undecodable: %v", agent, err)
+		return
+	}
+	if a, ok := am.(wire.Ack); !ok || a.AckSeq != t.seq {
+		t.failf("%s acked %v, want %d", agent, am, t.seq)
+		return
+	}
+	t.sent++
+}
+
+func (t *loopbackTransport) SignalDeliver(conn string, hop int) (bool, float64) {
+	if m, link, ok := signalFrame(t.routing, conn, hop); ok {
+		t.send(t.cluster.Assign(link), m)
+	}
+	return false, 0
+}
+
+func (t *loopbackTransport) MaxminDeliver(conn string, hop int, update bool) (bool, float64) {
+	if m, link, ok := maxminFrame(t.routing, conn, hop, update); ok {
+		t.send(t.cluster.Assign(link), m)
+	}
+	return false, 0
+}
+
+func (t *loopbackTransport) Abort(conn string, hop int, reason string) {
+	if m, link, ok := abortFrame(t.routing, conn, hop, reason); ok {
+		t.send(t.cluster.Assign(link), m)
+	}
+}
+
+func (t *loopbackTransport) Hello() error {
+	for _, name := range t.cluster.Names {
+		t.send(name, wire.Hello{Node: name})
+	}
+	return nil
+}
+
+func (t *loopbackTransport) Shutdown() {
+	for _, name := range t.cluster.Names {
+		t.send(name, wire.Shutdown{})
+	}
+}
+
+func (t *loopbackTransport) Sent() int      { return t.sent }
+func (t *loopbackTransport) Drops() int     { return 0 }
+func (t *loopbackTransport) Errs() []string { return t.errs }
+
+// udpTransport delivers frames as UDP datagrams and blocks for the ack;
+// an unacked frame counts as dropped, which hands loss recovery to the
+// protocols' own retransmission machinery — the same path the fault
+// injector exercises in simulation.
+type udpTransport struct {
+	cluster *Cluster
+	routing *Routing
+	pc      *net.UDPConn
+	peers   map[string]*net.UDPAddr
+	timeout time.Duration
+	seq     uint32
+	sbuf    []byte
+	rbuf    []byte
+	sent    int
+	drops   int
+	errs    []string
+}
+
+// DefaultAckTimeout bounds the wait for a node ack; localhost round
+// trips are microseconds, so this only matters under real loss.
+const DefaultAckTimeout = 250 * time.Millisecond
+
+// dialUDP opens the controller socket and resolves one peer address per
+// agent. peers maps agent name → "host:port"; every cluster agent must
+// be present.
+func dialUDP(cluster *Cluster, routing *Routing, peers map[string]string, timeout time.Duration) (*udpTransport, error) {
+	if timeout <= 0 {
+		timeout = DefaultAckTimeout
+	}
+	pc, err := net.ListenUDP("udp", &net.UDPAddr{IP: net.IPv4(127, 0, 0, 1)})
+	if err != nil {
+		return nil, fmt.Errorf("testnet: controller socket: %w", err)
+	}
+	t := &udpTransport{
+		cluster: cluster, routing: routing, pc: pc,
+		peers:   make(map[string]*net.UDPAddr, len(peers)),
+		timeout: timeout,
+		sbuf:    make([]byte, 0, wire.MaxFrame),
+		rbuf:    make([]byte, wire.MaxFrame+1),
+	}
+	for _, name := range cluster.Names {
+		addr, ok := peers[name]
+		if !ok {
+			pc.Close()
+			return nil, fmt.Errorf("testnet: no address for agent %q", name)
+		}
+		ua, err := net.ResolveUDPAddr("udp", addr)
+		if err != nil {
+			pc.Close()
+			return nil, fmt.Errorf("testnet: agent %q: %w", name, err)
+		}
+		t.peers[name] = ua
+	}
+	return t, nil
+}
+
+func (t *udpTransport) failf(format string, args ...any) {
+	t.errs = append(t.errs, fmt.Sprintf(format, args...))
+}
+
+// send transmits one frame and waits for its ack; false means the ack
+// never arrived within the timeout.
+func (t *udpTransport) send(agent string, m wire.Message) bool {
+	addr := t.peers[agent]
+	if addr == nil {
+		t.failf("no node agent %q", agent)
+		return false
+	}
+	t.seq++
+	frame, err := wire.AppendFrame(t.sbuf[:0], t.seq, m)
+	if err != nil {
+		t.failf("encode %T: %v", m, err)
+		return false
+	}
+	t.sbuf = frame[:0]
+	if _, err := t.pc.WriteToUDP(frame, addr); err != nil {
+		t.failf("send to %s: %v", agent, err)
+		t.drops++
+		return false
+	}
+	deadline := time.Now().Add(t.timeout)
+	for {
+		if err := t.pc.SetReadDeadline(deadline); err != nil {
+			t.failf("deadline: %v", err)
+			t.drops++
+			return false
+		}
+		sz, _, err := t.pc.ReadFromUDP(t.rbuf)
+		if err != nil {
+			t.drops++
+			return false
+		}
+		am, _, err := wire.Decode(t.rbuf[:sz])
+		if err != nil {
+			continue // garbage datagram
+		}
+		a, ok := am.(wire.Ack)
+		if !ok {
+			continue
+		}
+		if a.AckSeq == t.seq {
+			t.sent++
+			return true
+		}
+		// A stale ack from an earlier timed-out frame: keep reading.
+	}
+}
+
+func (t *udpTransport) SignalDeliver(conn string, hop int) (bool, float64) {
+	m, link, ok := signalFrame(t.routing, conn, hop)
+	if !ok {
+		return false, 0
+	}
+	return !t.send(t.cluster.Assign(link), m), 0
+}
+
+func (t *udpTransport) MaxminDeliver(conn string, hop int, update bool) (bool, float64) {
+	m, link, ok := maxminFrame(t.routing, conn, hop, update)
+	if !ok {
+		return false, 0
+	}
+	return !t.send(t.cluster.Assign(link), m), 0
+}
+
+func (t *udpTransport) Abort(conn string, hop int, reason string) {
+	if m, link, ok := abortFrame(t.routing, conn, hop, reason); ok {
+		t.send(t.cluster.Assign(link), m)
+	}
+}
+
+// Hello announces the controller to every agent, retrying while node
+// processes come up.
+func (t *udpTransport) Hello() error {
+	const attempts = 40
+	for _, name := range t.cluster.Names {
+		ok := false
+		for i := 0; i < attempts && !ok; i++ {
+			ok = t.send(name, wire.Hello{Node: name})
+		}
+		if !ok {
+			return fmt.Errorf("testnet: agent %q never acked hello", name)
+		}
+	}
+	return nil
+}
+
+func (t *udpTransport) Shutdown() {
+	for _, name := range t.cluster.Names {
+		for i := 0; i < 3; i++ {
+			if t.send(name, wire.Shutdown{}) {
+				break
+			}
+		}
+	}
+	t.pc.Close()
+}
+
+func (t *udpTransport) Sent() int      { return t.sent }
+func (t *udpTransport) Drops() int     { return t.drops }
+func (t *udpTransport) Errs() []string { return t.errs }

@@ -1,0 +1,350 @@
+// Package wire is the binary codec for the control-plane messages the
+// signal and maxmin protocols exchange when they run over a real
+// transport (internal/testnet, cmd/armnode). One frame carries one
+// message:
+//
+//	0:2   uint16 BE  payload length (bytes after this prefix)
+//	2     uint8      version (currently 1)
+//	3     uint8      message type
+//	4:8   uint32 BE  sender sequence number
+//	8:    body       type-specific fields
+//
+// Body fields are fixed-width big-endian: float64 as IEEE-754 bits,
+// hop/round counters as uint16, strings as uint16 length + bytes. A
+// frame maps one-to-one onto a UDP datagram; the redundant length
+// prefix lets receivers reject truncated or concatenated datagrams and
+// lets the same frames travel a byte stream unchanged.
+//
+// Decode is total: any byte slice either yields a valid message or an
+// error — never a panic — and claimed lengths are validated against the
+// bytes actually present before any allocation, so a malformed frame
+// cannot make the decoder allocate more than the frame's own size.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Version is the current frame format version.
+const Version = 1
+
+// MaxFrame bounds a whole encoded frame. It comfortably exceeds any
+// message the protocols produce while keeping every frame well inside a
+// single unfragmented UDP datagram.
+const MaxFrame = 1024
+
+// maxString bounds any encoded string field (connection IDs, node
+// names, abort reasons).
+const maxString = 255
+
+// Type identifies a message. The set is closed; it covers every control
+// message the signal plane (setup, commit confirmation, abort) and the
+// maxmin protocol (ADVERTISE, UPDATE) send, plus transport handshake
+// and teardown.
+type Type uint8
+
+const (
+	// THello announces a node joining the testnet.
+	THello Type = iota + 1
+	// TAck acknowledges receipt of the frame with the echoed sequence.
+	TAck
+	// TSignalSetup is one forward-pass hop of a setup session placing a
+	// tentative hold.
+	TSignalSetup
+	// TSignalCommit is one reverse-pass hop of the commit confirmation.
+	TSignalCommit
+	// TSignalAbort tears tentative holds down after a failure.
+	TSignalAbort
+	// TAdvertise is one hop of a maxmin ADVERTISE sweep.
+	TAdvertise
+	// TUpdate is one hop of a maxmin UPDATE commit.
+	TUpdate
+	// TShutdown asks a node process to exit after acking.
+	TShutdown
+
+	typeCount = iota + 1
+)
+
+var typeNames = [typeCount]string{
+	THello:        "hello",
+	TAck:          "ack",
+	TSignalSetup:  "signal-setup",
+	TSignalCommit: "signal-commit",
+	TSignalAbort:  "signal-abort",
+	TAdvertise:    "advertise",
+	TUpdate:       "update",
+	TShutdown:     "shutdown",
+}
+
+// String returns the stable wire name (used in node traces).
+func (t Type) String() string {
+	if t == 0 || int(t) >= typeCount {
+		return fmt.Sprintf("Type(%d)", uint8(t))
+	}
+	return typeNames[t]
+}
+
+// Decode errors.
+var (
+	ErrShort    = errors.New("wire: frame truncated")
+	ErrLength   = errors.New("wire: length prefix mismatch")
+	ErrVersion  = errors.New("wire: unsupported version")
+	ErrType     = errors.New("wire: unknown message type")
+	ErrTrailing = errors.New("wire: trailing bytes after message")
+	ErrTooLong  = errors.New("wire: frame exceeds MaxFrame")
+	ErrString   = errors.New("wire: string field too long")
+)
+
+// Message is the sealed payload interface: exactly the types in this
+// file implement it.
+type Message interface {
+	// WireType identifies the concrete message.
+	WireType() Type
+}
+
+// Hello announces a node to the controller (and doubles as a liveness
+// probe: the controller retries it until the node acks).
+type Hello struct {
+	Node string
+}
+
+// Ack acknowledges the frame whose sequence number it echoes.
+type Ack struct {
+	AckSeq uint32
+}
+
+// SignalSetup carries one forward-pass hop of a setup session: the node
+// owning the link records it and acks; the hold itself lives in the
+// controller's plane (the protocol state machine is untouched).
+type SignalSetup struct {
+	Conn      string
+	Hop       uint16
+	Bandwidth float64
+}
+
+// SignalCommit carries one reverse-pass hop of the commit confirmation.
+type SignalCommit struct {
+	Conn      string
+	Hop       uint16
+	Bandwidth float64
+}
+
+// SignalAbort carries a rollback sweep hop.
+type SignalAbort struct {
+	Conn   string
+	Hop    uint16
+	Reason string
+}
+
+// Advertise carries one hop of a maxmin ADVERTISE sweep.
+type Advertise struct {
+	Conn  string
+	Hop   uint16
+	Round uint16
+	Stamp float64
+}
+
+// Update carries one hop of a maxmin UPDATE commit.
+type Update struct {
+	Conn string
+	Hop  uint16
+	Rate float64
+}
+
+// Shutdown asks the receiving node process to exit after acking.
+type Shutdown struct{}
+
+func (Hello) WireType() Type        { return THello }
+func (Ack) WireType() Type          { return TAck }
+func (SignalSetup) WireType() Type  { return TSignalSetup }
+func (SignalCommit) WireType() Type { return TSignalCommit }
+func (SignalAbort) WireType() Type  { return TSignalAbort }
+func (Advertise) WireType() Type    { return TAdvertise }
+func (Update) WireType() Type       { return TUpdate }
+func (Shutdown) WireType() Type     { return TShutdown }
+
+// headerLen is the fixed frame overhead before the body.
+const headerLen = 8
+
+// Encode builds a complete frame for m with the given sequence number.
+func Encode(seq uint32, m Message) ([]byte, error) {
+	return AppendFrame(nil, seq, m)
+}
+
+// AppendFrame appends m's frame to dst and returns the extended slice —
+// the allocation-free path when the caller reuses a buffer.
+func AppendFrame(dst []byte, seq uint32, m Message) ([]byte, error) {
+	start := len(dst)
+	dst = append(dst, 0, 0, Version, byte(m.WireType()))
+	dst = binary.BigEndian.AppendUint32(dst, seq)
+	var err error
+	switch v := m.(type) {
+	case Hello:
+		dst, err = appendString(dst, v.Node)
+	case Ack:
+		dst = binary.BigEndian.AppendUint32(dst, v.AckSeq)
+	case SignalSetup:
+		dst, err = appendString(dst, v.Conn)
+		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
+		dst = appendFloat(dst, v.Bandwidth)
+	case SignalCommit:
+		dst, err = appendString(dst, v.Conn)
+		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
+		dst = appendFloat(dst, v.Bandwidth)
+	case SignalAbort:
+		dst, err = appendString(dst, v.Conn)
+		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
+		if err == nil {
+			dst, err = appendString(dst, v.Reason)
+		}
+	case Advertise:
+		dst, err = appendString(dst, v.Conn)
+		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
+		dst = binary.BigEndian.AppendUint16(dst, v.Round)
+		dst = appendFloat(dst, v.Stamp)
+	case Update:
+		dst, err = appendString(dst, v.Conn)
+		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
+		dst = appendFloat(dst, v.Rate)
+	case Shutdown:
+	default:
+		return dst[:start], fmt.Errorf("%w: %T", ErrType, m)
+	}
+	if err != nil {
+		return dst[:start], err
+	}
+	payload := len(dst) - start - 2
+	if len(dst)-start > MaxFrame {
+		return dst[:start], fmt.Errorf("%w: %d bytes", ErrTooLong, len(dst)-start)
+	}
+	binary.BigEndian.PutUint16(dst[start:], uint16(payload))
+	return dst, nil
+}
+
+// Decode parses one complete frame. The frame must be consumed exactly:
+// trailing bytes, truncation, or a length prefix that disagrees with
+// the slice are errors, never panics.
+func Decode(frame []byte) (Message, uint32, error) {
+	if len(frame) < headerLen {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrShort, len(frame))
+	}
+	if len(frame) > MaxFrame {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTooLong, len(frame))
+	}
+	if got := int(binary.BigEndian.Uint16(frame)); got != len(frame)-2 {
+		return nil, 0, fmt.Errorf("%w: prefix says %d, frame holds %d", ErrLength, got, len(frame)-2)
+	}
+	if frame[2] != Version {
+		return nil, 0, fmt.Errorf("%w: %d", ErrVersion, frame[2])
+	}
+	typ := Type(frame[3])
+	seq := binary.BigEndian.Uint32(frame[4:8])
+	d := decoder{buf: frame[headerLen:]}
+	var m Message
+	switch typ {
+	case THello:
+		m = Hello{Node: d.string()}
+	case TAck:
+		m = Ack{AckSeq: d.uint32()}
+	case TSignalSetup:
+		m = SignalSetup{Conn: d.string(), Hop: d.uint16(), Bandwidth: d.float()}
+	case TSignalCommit:
+		m = SignalCommit{Conn: d.string(), Hop: d.uint16(), Bandwidth: d.float()}
+	case TSignalAbort:
+		m = SignalAbort{Conn: d.string(), Hop: d.uint16(), Reason: d.string()}
+	case TAdvertise:
+		m = Advertise{Conn: d.string(), Hop: d.uint16(), Round: d.uint16(), Stamp: d.float()}
+	case TUpdate:
+		m = Update{Conn: d.string(), Hop: d.uint16(), Rate: d.float()}
+	case TShutdown:
+		m = Shutdown{}
+	default:
+		return nil, 0, fmt.Errorf("%w: %d", ErrType, uint8(typ))
+	}
+	if d.err != nil {
+		return nil, 0, d.err
+	}
+	if len(d.buf) != 0 {
+		return nil, 0, fmt.Errorf("%w: %d bytes", ErrTrailing, len(d.buf))
+	}
+	return m, seq, nil
+}
+
+func appendString(dst []byte, s string) ([]byte, error) {
+	if len(s) > maxString {
+		return dst, fmt.Errorf("%w: %d bytes", ErrString, len(s))
+	}
+	dst = binary.BigEndian.AppendUint16(dst, uint16(len(s)))
+	return append(dst, s...), nil
+}
+
+func appendFloat(dst []byte, f float64) []byte {
+	return binary.BigEndian.AppendUint64(dst, math.Float64bits(f))
+}
+
+// decoder consumes body fields with latched error state, so field reads
+// chain without per-field checks and a short buffer degrades to zero
+// values plus an error rather than a panic.
+type decoder struct {
+	buf []byte
+	err error
+}
+
+func (d *decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.buf) < n {
+		d.err = fmt.Errorf("%w: need %d more bytes", ErrShort, n-len(d.buf))
+		return nil
+	}
+	out := d.buf[:n]
+	d.buf = d.buf[n:]
+	return out
+}
+
+func (d *decoder) uint16() uint16 {
+	b := d.take(2)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint16(b)
+}
+
+func (d *decoder) uint32() uint32 {
+	b := d.take(4)
+	if b == nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b)
+}
+
+func (d *decoder) float() float64 {
+	b := d.take(8)
+	if b == nil {
+		return 0
+	}
+	return math.Float64frombits(binary.BigEndian.Uint64(b))
+}
+
+// string reads a length-prefixed string. The claimed length is checked
+// against both the string bound and the bytes actually remaining before
+// the copy, so a hostile prefix cannot trigger a large allocation.
+func (d *decoder) string() string {
+	n := int(d.uint16())
+	if d.err != nil {
+		return ""
+	}
+	if n > maxString {
+		d.err = fmt.Errorf("%w: claims %d bytes", ErrString, n)
+		return ""
+	}
+	b := d.take(n)
+	if b == nil {
+		return ""
+	}
+	return string(b)
+}
