@@ -1,12 +1,12 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena testnet
+.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena testnet soak
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, the chaos, overload, observability, arena and
-## testnet gates, and the bench-capture smoke check.
-ci: vet build race fuzz-short trace-determinism chaos overload obs arena testnet bench-smoke
+## replication check, the chaos, overload, observability, arena,
+## testnet and soak gates, and the bench-capture smoke check.
+ci: vet build race fuzz-short trace-determinism chaos overload obs arena testnet soak bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -101,6 +101,16 @@ arena:
 ## `race` but skips under -short).
 testnet:
 	$(GO) test -run 'TestLoopback' -count=1 ./internal/testnet
+	$(GO) test -race -count=1 ./internal/clock ./internal/testnet
+
+## soak: the chaos-soak gate — a short deterministic soak (generated
+## workload, rotating fault plans covering loss, reordering, a
+## partition and a crash/restart) whose per-epoch audits must be clean
+## and whose JSONL report must match the checked-in golden
+## byte-for-byte. Includes the zero-cost proof that an empty netfaults
+## plan leaves the loopback traces untouched.
+soak:
+	$(GO) test -run 'TestSoak|TestNetfaultsEmptyPlan' -count=1 ./internal/testnet
 
 ## golden: regenerate the checked-in CLI fixtures after an intentional
 ## output change.

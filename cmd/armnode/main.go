@@ -20,7 +20,14 @@
 //	armnode -mode orchestrate [-dir DIR]
 //	    The full 3-process cluster: spawn one armnode per agent, run the
 //	    controller against them, collect their traces, and diff the live
-//	    run against the loopback reference.
+//	    run against the loopback reference. Any agent dying early reaps
+//	    the whole cluster and fails the run.
+//
+//	armnode -mode soak [-soak-epochs N] [-seed S] [-plan FILE] [-out FILE]
+//	    Run the deterministic chaos soak: a generated workload on the
+//	    loopback fabric under a rotating netfaults plan, each epoch
+//	    audited for leaked holds, ledger conservation, and rate
+//	    convergence. Exits non-zero on any violation.
 package main
 
 import (
@@ -34,18 +41,23 @@ import (
 	"strings"
 	"time"
 
+	"armnet/internal/netfaults"
 	"armnet/internal/testnet"
 )
 
 func main() {
 	var (
-		mode    = flag.String("mode", "loopback", "loopback | node | controller | orchestrate")
+		mode    = flag.String("mode", "loopback", "loopback | node | controller | orchestrate | soak")
 		name    = flag.String("name", "", "agent name (node mode)")
 		listen  = flag.String("listen", "127.0.0.1:0", "UDP listen address (node mode)")
 		trace   = flag.String("trace", "", "trace output file (node mode; empty = stdout)")
 		peers   = flag.String("peers", "", "comma-separated name=addr list (controller mode)")
 		dir     = flag.String("dir", "", "working directory for traces (orchestrate mode; empty = temp)")
 		horizon = flag.Float64("horizon", 2.5, "wall-clock settle horizon in seconds (controller/orchestrate)")
+		epochs  = flag.Int("soak-epochs", 0, "soak epoch count (soak mode; 0 = default)")
+		seed    = flag.Int64("seed", 42, "workload and fault seed (soak mode)")
+		plan    = flag.String("plan", "", "netfaults plan file (soak mode; empty = default rotation)")
+		out     = flag.String("out", "", "soak report JSONL file (soak mode; empty = stdout)")
 	)
 	flag.Parse()
 
@@ -59,6 +71,8 @@ func main() {
 		_, err = runController(*peers, *horizon)
 	case "orchestrate":
 		err = runOrchestrate(*dir, *horizon)
+	case "soak":
+		err = runSoak(*epochs, *seed, *plan, *out)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -168,13 +182,23 @@ func runOrchestrate(dir string, horizon float64) error {
 	agents := []string{"core", "east", "west"}
 	peers := map[string]string{}
 	procs := map[string]*exec.Cmd{}
-	defer func() {
+	killAll := func() {
 		for _, cmd := range procs {
 			if cmd.Process != nil {
 				cmd.Process.Kill()
 			}
 		}
-	}()
+	}
+	defer killAll()
+
+	// Every child gets a reaper goroutine feeding one exit channel, so a
+	// node dying at any point — before, during, or after the controller
+	// run — is observed instead of leaving zombies behind.
+	type exit struct {
+		agent string
+		err   error
+	}
+	exits := make(chan exit, len(agents))
 	for _, a := range agents {
 		cmd := exec.Command(self, "-mode", "node", "-name", a,
 			"-trace", filepath.Join(dir, a+".jsonl"))
@@ -187,21 +211,60 @@ func runOrchestrate(dir string, horizon float64) error {
 			return fmt.Errorf("spawn %s: %w", a, err)
 		}
 		procs[a] = cmd
+		go func(a string, cmd *exec.Cmd) { exits <- exit{a, cmd.Wait()} }(a, cmd)
 		addr, err := awaitListen(stdout)
 		if err != nil {
+			killAll()
 			return fmt.Errorf("%s never bound: %w", a, err)
 		}
 		peers[a] = addr
 		fmt.Printf("spawned %s (pid %d) on %s\n", a, cmd.Process.Pid, addr)
 	}
 
-	res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
-	if err != nil {
-		return err
+	// Run the controller concurrently with the exit watch: a node that
+	// exits before shutdown — cleanly or not — reaps the whole cluster
+	// and fails the run.
+	type ctrl struct {
+		res *testnet.Result
+		err error
 	}
-	for a, cmd := range procs {
-		if err := cmd.Wait(); err != nil {
-			return fmt.Errorf("node %s exited: %w", a, err)
+	ctrlDone := make(chan ctrl, 1)
+	go func() {
+		res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
+		ctrlDone <- ctrl{res, err}
+	}()
+	// A clean node exit only ever follows the controller's shutdown frame,
+	// so it races harmlessly with Run returning; an error exit at any
+	// point reaps the cluster and fails the orchestration.
+	var res *testnet.Result
+	reaped := 0
+	for res == nil {
+		select {
+		case ev := <-exits:
+			if ev.err != nil {
+				killAll()
+				return fmt.Errorf("node %s died mid-run: %v", ev.agent, ev.err)
+			}
+			reaped++
+		case c := <-ctrlDone:
+			if c.err != nil {
+				killAll()
+				return c.err
+			}
+			res = c.res
+		}
+	}
+	for reaped < len(agents) {
+		select {
+		case ev := <-exits:
+			reaped++
+			if ev.err != nil {
+				killAll()
+				return fmt.Errorf("node %s exited: %v", ev.agent, ev.err)
+			}
+		case <-time.After(10 * time.Second):
+			killAll()
+			return fmt.Errorf("%d node(s) never exited after shutdown", len(agents)-reaped)
 		}
 	}
 	if err := clean(res); err != nil {
@@ -225,6 +288,42 @@ func runOrchestrate(dir string, horizon float64) error {
 		return fmt.Errorf("live frame multisets diverge from loopback reference: %v", diffs)
 	}
 	fmt.Printf("trace: per-node frame multisets identical to loopback reference\n")
+	return nil
+}
+
+// runSoak drives the chaos soak and writes the epoch report JSONL.
+func runSoak(epochs int, seed int64, planFile, outFile string) error {
+	cfg := testnet.SoakConfig{Epochs: epochs, Seed: seed}
+	if planFile != "" {
+		data, err := os.ReadFile(planFile)
+		if err != nil {
+			return err
+		}
+		plan, err := netfaults.ParsePlanString(string(data))
+		if err != nil {
+			return fmt.Errorf("%s: %w", planFile, err)
+		}
+		cfg.Plans = []*netfaults.Plan{plan}
+	}
+	res, err := testnet.RunSoak(cfg)
+	if err != nil {
+		return err
+	}
+	if outFile == "" {
+		if _, err := os.Stdout.Write(res.ReportJSONL); err != nil {
+			return err
+		}
+	} else if err := os.WriteFile(outFile, res.ReportJSONL, 0o644); err != nil {
+		return err
+	}
+	fs := res.Run.Faults
+	fmt.Printf("soak: %d epochs, %d commits, %d aborts, faults drop=%d dup=%d delay=%d reorder=%d partition=%d crash=%d reclaim=%d\n",
+		len(res.Reports), res.Run.Commits, res.Run.Aborted,
+		fs.Drops, fs.Dups, fs.Delays, fs.Reorders, fs.PartitionDrops, fs.Crashes, fs.LeaseReclaims)
+	if len(res.Violations) > 0 {
+		return fmt.Errorf("soak failed audit: %s", strings.Join(res.Violations, "; "))
+	}
+	fmt.Println("soak: every epoch audit clean")
 	return nil
 }
 

@@ -1,0 +1,93 @@
+package netfaults
+
+import (
+	"armnet/internal/randx"
+)
+
+// seedSalt decorrelates the wire injector's RNG from the simulation
+// fault injector and the workload streams derived from the same master
+// seed.
+const seedSalt = 0x6e657466 // "netf"
+
+// Verdict is the injector's decision for one frame. The zero value
+// delivers the frame untouched.
+type Verdict struct {
+	// Drop suppresses the frame entirely; the sending protocol sees a
+	// loss and runs its own retransmission machinery.
+	Drop bool
+	// Dup delivers the frame a second time right after the first (the
+	// node observes both; protocol state is unaffected because delivery
+	// is mirrored, not interpreted).
+	Dup bool
+	// Delay is extra latency reported to the sending protocol.
+	Delay float64
+	// Reorder, when positive, defers the frame's fabric delivery by
+	// this much while the protocol proceeds undelayed — frames sent
+	// later overtake it, which is what a real reordering network does.
+	Reorder float64
+}
+
+// Injector evaluates a plan's message rules against frames. All
+// randomness comes from one seed-derived RNG and the loopback fabric is
+// single-threaded on the simulator clock, so identical (plan, seed)
+// pairs inject identically there; on the wall-clock UDP path calls are
+// serialized by the wall lock but their order is scheduling-dependent,
+// so UDP injection is random-but-unreproducible by design.
+//
+// A nil injector, or one built from an empty plan, decides every frame
+// without drawing from the RNG and without allocating — the empty-plan
+// live path stays zero-cost.
+type Injector struct {
+	plan *Plan
+	rng  *randx.Rand
+
+	// Drops, Dups, Delays, Reorders count rule firings.
+	Drops, Dups, Delays, Reorders int
+}
+
+// NewInjector builds an injector for the plan's message rules. Node
+// faults are scheduled by the harness (see Plan.Nodes); the injector
+// only decides per-frame fates.
+func NewInjector(plan *Plan, seed int64) *Injector {
+	return &Injector{plan: plan, rng: randx.New(seed ^ seedSalt)}
+}
+
+// Frame decides the fate of one frame: proto is the protocol family
+// ("signal" or "maxmin"; control frames like hello, lease renewals and
+// resyncs are exempt from probabilistic rules), link is the backbone
+// link the hop crosses. Rules are evaluated in plan order; a drop that
+// fires wins immediately, dup/delay/reorder compose (delays and
+// reorder deferrals accumulate).
+func (in *Injector) Frame(proto, link string) Verdict {
+	var v Verdict
+	if in == nil || in.plan == nil || len(in.plan.Rules) == 0 {
+		return v
+	}
+	for _, r := range in.plan.Rules {
+		if r.Proto != "any" && r.Proto != proto {
+			continue
+		}
+		if r.Link != "" && r.Link != link {
+			continue
+		}
+		if !in.rng.Bernoulli(r.Prob) {
+			continue
+		}
+		switch r.Action {
+		case "drop":
+			in.Drops++
+			v.Drop = true
+			return v
+		case "dup":
+			in.Dups++
+			v.Dup = true
+		case "delay":
+			in.Delays++
+			v.Delay += r.Delay
+		case "reorder":
+			in.Reorders++
+			v.Reorder += r.Delay
+		}
+	}
+	return v
+}

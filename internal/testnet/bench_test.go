@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"armnet/internal/des"
+	"armnet/internal/netfaults"
 	"armnet/internal/wire"
 )
 
@@ -46,6 +47,54 @@ func BenchmarkLoopbackScenario(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		res, err := Run(Config{Mode: ModeLoopback})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Violations) > 0 {
+			b.Fatalf("violations: %v", res.Violations)
+		}
+	}
+}
+
+// BenchmarkNetfaultsVerdictEmpty is the zero-cost contract in numbers:
+// the per-frame injector check on an empty plan — what every live frame
+// pays when the chaos layer is armed but idle. It must stay allocation-
+// free and a few nanoseconds, or wrapping the transport is no longer
+// behaviour-preserving in spirit.
+func BenchmarkNetfaultsVerdictEmpty(b *testing.B) {
+	inj := netfaults.NewInjector(&netfaults.Plan{}, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if v := inj.Frame("signal", "ap-off-1"); v.Drop || v.Dup {
+			b.Fatal("empty plan produced a fault")
+		}
+	}
+}
+
+// BenchmarkNetfaultsVerdict measures the per-frame verdict on an active
+// plan with one rule per fault family — the injection hot path a soak
+// run exercises on every delivered frame.
+func BenchmarkNetfaultsVerdict(b *testing.B) {
+	plan, err := netfaults.ParsePlanString(
+		"drop signal 0.1\ndup maxmin 0.1\ndelay any 0.2 0.002\nreorder maxmin 0.15 0.004\n")
+	if err != nil {
+		b.Fatal(err)
+	}
+	inj := netfaults.NewInjector(plan, 1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		inj.Frame("maxmin", "ap-off-1")
+	}
+}
+
+// BenchmarkFaultyLoopbackScenario is the end-to-end cost of the chaos
+// layer at rest: the full scripted scenario with the fault layer wired
+// in but the plan empty. Compare against BenchmarkLoopbackScenario —
+// the gap is the price of the wrapping itself.
+func BenchmarkFaultyLoopbackScenario(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Run(Config{Mode: ModeLoopback, Faults: &netfaults.Plan{}})
 		if err != nil {
 			b.Fatal(err)
 		}

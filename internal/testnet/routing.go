@@ -73,6 +73,40 @@ func (r *Routing) SignalHop(conn string, hop int) (link topology.LinkID, commit 
 	return "", false, false
 }
 
+// PeekSignal resolves a signal hop's link without touching the Unrouted
+// counter — for observers (the fault layer) sitting in front of a
+// transport that will resolve, and count, the same hop itself.
+func (r *Routing) PeekSignal(conn string, hop int) (topology.LinkID, bool) {
+	links := r.signal[conn]
+	n := len(links)
+	switch {
+	case hop >= 0 && hop < n:
+		return links[hop], true
+	case hop >= n && hop < 2*n:
+		return links[2*n-1-hop], true
+	}
+	return "", false
+}
+
+// PeekMaxmin is PeekSignal for maxmin hops.
+func (r *Routing) PeekMaxmin(conn string, hop int, update bool) (topology.LinkID, bool) {
+	path := r.path[conn]
+	m := len(path)
+	if update {
+		if hop >= 0 && hop < m {
+			return path[hop], true
+		}
+		return "", false
+	}
+	switch {
+	case hop >= 0 && hop < m:
+		return path[hop], true
+	case hop >= m && hop < 2*m:
+		return path[2*m-1-hop], true
+	}
+	return "", false
+}
+
 // MaxminHop resolves a maxmin hop for an UPDATE (update=true, forward
 // pass) or an ADVERTISE sweep (out-and-back).
 func (r *Routing) MaxminHop(conn string, hop int, update bool) (topology.LinkID, bool) {

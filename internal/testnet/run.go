@@ -14,9 +14,11 @@ import (
 	"armnet/internal/eventbus"
 	"armnet/internal/faults"
 	"armnet/internal/maxmin"
+	"armnet/internal/netfaults"
 	"armnet/internal/qos"
 	"armnet/internal/signal"
 	"armnet/internal/topology"
+	"armnet/internal/wire"
 )
 
 // Config parameterizes a scenario run.
@@ -32,6 +34,35 @@ type Config struct {
 	// AckTimeout bounds the per-frame ack wait (ModeUDP only; ≤0 →
 	// DefaultAckTimeout).
 	AckTimeout time.Duration
+	// Faults, when non-nil, interposes the netfaults chaos layer between
+	// the protocols and the transport (live modes only; ModeSim has no
+	// wire to break). An empty plan still wraps — proving the wrapped
+	// empty path behaviour-identical is itself a test target.
+	Faults *netfaults.Plan
+	// FaultSeed salts the injector's RNG.
+	FaultSeed int64
+	// Lease arms wire hold-lease renewal (see LeaseConfig).
+	Lease LeaseConfig
+	// Readvertise, when positive, arms the maxmin periodic repair sweep
+	// — required for convergence when fault injection can eat UPDATE
+	// frames.
+	Readvertise float64
+	// Lenient makes handoff/close of an unknown connection a counted
+	// no-op instead of a harness error. Fault plans legitimately create
+	// such races: a lease reclaim can tear a connection down before the
+	// script's own close reaches it.
+	Lenient bool
+	// hooks are timed callbacks with access to the runner — the soak
+	// harness uses them for epoch plan swaps, scripted node faults, and
+	// mid-run audits. Same-time hooks fire in slice order, after any
+	// script step sharing the instant.
+	hooks []soakHook
+}
+
+// soakHook is one timed runner callback (see Config.hooks).
+type soakHook struct {
+	at float64
+	fn func(*runner)
 }
 
 // Result reports one scenario run.
@@ -56,6 +87,22 @@ type Result struct {
 	// Violations aggregates auditor findings and harness faults; empty on
 	// a clean run.
 	Violations []string
+	// Faults reports the chaos layer's counters (nil when no fault layer
+	// was configured).
+	Faults *FaultStats
+	// SkippedOps counts script operations ignored under Lenient.
+	SkippedOps int
+}
+
+// FaultStats aggregates what the chaos layer actually did to a run.
+type FaultStats struct {
+	// Drops/Dups/Delays/Reorders count injector rule firings.
+	Drops, Dups, Delays, Reorders int
+	// PartitionDrops counts frames eaten by down agents; Crashes and
+	// Restarts count node lifecycle transitions.
+	PartitionDrops, Crashes, Restarts int
+	// LeaseReclaims counts connections reclaimed by lease expiry.
+	LeaseReclaims int
 }
 
 // runner owns one scenario's control plane.
@@ -69,12 +116,16 @@ type runner struct {
 	plane   *signal.Plane
 	proto   *maxmin.Protocol
 	tr      transport
+	faulty  *faultyTransport
+	lease   *leaseManager
+	bus     *eventbus.Bus
 	nodes   map[string]*Node
 
 	live    map[string]topology.Route
 	mmLinks map[topology.LinkID]bool
 	commits int
 	aborted int
+	skipped int
 	errs    []string
 }
 
@@ -131,7 +182,14 @@ func Run(cfg Config) (*Result, error) {
 		r.tr = tr
 	}
 
+	if cfg.Faults != nil && r.tr != nil {
+		r.faulty = newFaulty(r.tr, cfg.Faults, cfg.FaultSeed, clk, r.routing, r.cluster, r.nodes)
+		r.tr = r.faulty
+		armNodeFaults(clk, r.faulty, cfg.Faults.Nodes)
+	}
+
 	bus := eventbus.New(clk)
+	r.bus = bus
 	var trace bytes.Buffer
 	rec := eventbus.AttachRecorder(bus, &trace)
 
@@ -140,7 +198,7 @@ func Run(cfg Config) (*Result, error) {
 	ctl.Bus = bus
 
 	sigOpts := signal.Options{Bus: bus}
-	mmOpts := maxmin.ProtocolOptions{Refined: true}
+	mmOpts := maxmin.ProtocolOptions{Refined: true, ReadvertisePeriod: cfg.Readvertise}
 	if r.tr != nil {
 		sigOpts.Deliver = r.tr.SignalDeliver
 		mmOpts.Deliver = r.tr.MaxminDeliver
@@ -155,6 +213,19 @@ func Run(cfg Config) (*Result, error) {
 	r.proto = maxmin.NewProtocolOn(clk, mmOpts)
 	r.proto.Bus = bus
 
+	// Lease TTL doubles as the resync grant after a crash restart; with
+	// the lease machinery off, grant the whole horizon so a resynced
+	// mirror never decays mid-run.
+	resyncTTL := cfg.Horizon
+	if cfg.Lease.Period > 0 {
+		resyncTTL = cfg.Lease.ttl()
+		r.lease = newLeaseManager(cfg.Lease, r)
+		clk.Every(cfg.Lease.Period, r.lease.tick)
+	}
+	if r.faulty != nil {
+		r.faulty.onRestart = func(agent string) { r.resyncAgent(agent, resyncTTL) }
+	}
+
 	if r.tr != nil {
 		if err := r.tr.Hello(); err != nil {
 			return nil, err
@@ -165,13 +236,17 @@ func Run(cfg Config) (*Result, error) {
 		st := st
 		clk.PostAfter(st.At, func() { r.exec(st) })
 	}
+	for _, h := range cfg.hooks {
+		h := h
+		clk.PostAfter(h.at, func() { h.fn(r) })
+	}
 
 	if cfg.Mode == ModeUDP {
 		done := make(chan struct{})
 		clk.After(cfg.Horizon, func() { close(done) })
 		select {
 		case <-done:
-		case <-time.After(time.Duration((cfg.Horizon+30)*float64(time.Second))):
+		case <-time.After(time.Duration((cfg.Horizon + 30) * float64(time.Second))):
 			return nil, fmt.Errorf("testnet: wall-clock horizon never fired")
 		}
 		var res *Result
@@ -286,6 +361,10 @@ func (r *runner) joinMaxmin(conn string, route topology.Route, demand float64) {
 func (r *runner) handoff(st Step) {
 	route, ok := r.live[st.Conn]
 	if !ok {
+		if r.cfg.Lenient {
+			r.skipped++
+			return
+		}
 		r.failf("handoff of unknown conn %s", st.Conn)
 		return
 	}
@@ -299,6 +378,10 @@ func (r *runner) handoff(st Step) {
 func (r *runner) close(conn string) {
 	route, ok := r.live[conn]
 	if !ok {
+		if r.cfg.Lenient {
+			r.skipped++
+			return
+		}
 		r.failf("close of unknown conn %s", conn)
 		return
 	}
@@ -365,6 +448,19 @@ func (r *runner) collect(rec *eventbus.Recorder, trace *bytes.Buffer) *Result {
 		res.FramesSent = r.tr.Sent()
 		res.FrameDrops = r.tr.Drops()
 	}
+	res.SkippedOps = r.skipped
+	if r.faulty != nil {
+		fs := &FaultStats{
+			PartitionDrops: r.faulty.PartitionDrops,
+			Crashes:        r.faulty.Crashes,
+			Restarts:       r.faulty.Restarts,
+		}
+		fs.Drops, fs.Dups, fs.Delays, fs.Reorders = r.faulty.Stats()
+		if r.lease != nil {
+			fs.LeaseReclaims = r.lease.Reclaims
+		}
+		res.Faults = fs
+	}
 	return res
 }
 
@@ -375,6 +471,52 @@ func (r *runner) liveConns() []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// connsVia lists the live connections with at least one route link owned
+// by the agent, sorted for deterministic frame order.
+func (r *runner) connsVia(agent string) []string {
+	var out []string
+	for conn, route := range r.live {
+		for _, l := range route.Links {
+			if r.cluster.Assign(l.ID) == agent {
+				out = append(out, conn)
+				break
+			}
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// resyncAgent runs the controller side of the re-LISTEN handshake with
+// an agent that restarted or healed: re-hello, then replay every live
+// reservation crossing its links as Resync frames.
+func (r *runner) resyncAgent(agent string, ttl float64) {
+	r.tr.Control(agent, wire.Hello{Node: agent})
+	for _, conn := range r.connsVia(agent) {
+		r.tr.Control(agent, wire.Resync{
+			Conn: conn, Bandwidth: r.routing.Reserve(conn), TTL: ttl,
+		})
+	}
+}
+
+// armNodeFaults schedules a plan's partition/crash events on the
+// scenario clock.
+func armNodeFaults(clk clock.Clock, ft *faultyTransport, faults []netfaults.NodeFault) {
+	for _, nf := range faults {
+		nf := nf
+		switch nf.Action {
+		case "partition":
+			clk.PostAfter(nf.At, func() { ft.Partition(nf.Node) })
+			clk.PostAfter(nf.At+nf.For, func() { ft.Heal(nf.Node) })
+		case "crash":
+			clk.PostAfter(nf.At, func() { ft.Crash(nf.Node) })
+			if nf.For > 0 {
+				clk.PostAfter(nf.At+nf.For, func() { ft.Restart(nf.Node) })
+			}
+		}
+	}
 }
 
 // convergenceGap measures the protocol's final distance from the

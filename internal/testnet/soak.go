@@ -1,0 +1,319 @@
+package testnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"armnet/internal/faults"
+	"armnet/internal/netfaults"
+	"armnet/internal/randx"
+	"armnet/internal/topology"
+)
+
+// SoakConfig parameterizes a soak run: a generated setup/handoff/close
+// workload executed for Epochs scripted epochs on the loopback fabric,
+// each epoch under a rotating netfaults plan, each epoch boundary
+// audited with the same oracle the final audit uses. Sim-clock seconds
+// are free, so a multi-minute scenario soaks in well under a second of
+// wall time — short soaks are CI material.
+type SoakConfig struct {
+	// Epochs is the scripted epoch count (≤0 → DefaultSoakEpochs).
+	Epochs int
+	// EpochLen is one epoch in scenario seconds (≤0 → DefaultEpochLen).
+	// The last soakHealWindow seconds of every epoch run fault-free so
+	// retries drain, leases recover, and the rate protocol re-converges
+	// before the epoch audit.
+	EpochLen float64
+	// Seed drives both the workload generator and the per-epoch fault
+	// injectors (epoch e salts with Seed+e).
+	Seed int64
+	// Plans rotate across epochs: epoch e runs Plans[e%len(Plans)] (nil
+	// → DefaultSoakPlans). Node faults are epoch-relative; a crash that
+	// never heals on its own (for-less) is force-restarted at the heal
+	// window so every epoch ends whole.
+	Plans []*netfaults.Plan
+	// Lease configures wire hold-lease renewal (zero → Period 0.5s,
+	// default miss budget).
+	Lease LeaseConfig
+	// Readvertise is the maxmin repair period (≤0 → 0.75s).
+	Readvertise float64
+	// Out, when non-nil, receives the JSONL epoch reports as they are
+	// produced.
+	Out io.Writer
+}
+
+// Soak defaults.
+const (
+	DefaultSoakEpochs = 6
+	DefaultEpochLen   = 10.0
+	// soakHealWindow is the fault-free tail of every epoch: longer than
+	// the worst-case signaling session deadline plus a full lease
+	// detection-and-recovery cycle, so the epoch audit sees a settled
+	// system.
+	soakHealWindow = 4.0
+)
+
+// EpochReport is one audited epoch boundary. Counters are cumulative
+// since run start, so reports are monotone and a diff of two
+// consecutive lines gives the per-epoch deltas.
+type EpochReport struct {
+	Epoch          int      `json:"epoch"`
+	Time           float64  `json:"time"`
+	Plan           int      `json:"plan"`
+	Commits        int      `json:"commits"`
+	Aborted        int      `json:"aborted"`
+	Live           int      `json:"live"`
+	Drops          int      `json:"drops"`
+	Dups           int      `json:"dups"`
+	Delays         int      `json:"delays"`
+	Reorders       int      `json:"reorders"`
+	PartitionDrops int      `json:"partition_drops"`
+	Crashes        int      `json:"crashes"`
+	Restarts       int      `json:"restarts"`
+	Reclaims       int      `json:"reclaims"`
+	PendingHolds   float64  `json:"pending_holds"`
+	Gap            float64  `json:"gap"`
+	Violations     []string `json:"violations"`
+}
+
+// SoakResult is the full soak outcome.
+type SoakResult struct {
+	// Reports holds one audited entry per epoch, in order.
+	Reports []EpochReport
+	// ReportJSONL is the serialized report stream — the byte-identical
+	// determinism target.
+	ReportJSONL []byte
+	// Run is the underlying scenario result (final audit included).
+	Run *Result
+	// Violations aggregates every epoch's findings plus the final
+	// audit's; empty on a clean soak.
+	Violations []string
+}
+
+// DefaultSoakPlans is the rotation the `make soak` gate runs: epoch 0
+// is loss and reordering, epoch 1 adds signaling loss, a maxmin delay
+// and an east partition, epoch 2 duplicates frames and crash-restarts
+// west — together covering every fault family in the grammar.
+func DefaultSoakPlans() []*netfaults.Plan {
+	specs := []string{
+		"drop any 0.15\nreorder any 0.2 0.004\n",
+		"drop signal 0.25\ndelay maxmin 0.3 0.002\nat 1 partition east for 2\n",
+		"dup any 0.1\nat 0.8 crash west for 2.2\n",
+	}
+	plans := make([]*netfaults.Plan, len(specs))
+	for i, spec := range specs {
+		p, err := netfaults.ParsePlanString(spec)
+		if err != nil {
+			panic("testnet: default soak plan " + err.Error())
+		}
+		plans[i] = p
+	}
+	return plans
+}
+
+// RunSoak executes the soak scenario. Identical configs produce
+// byte-identical ReportJSONL — the soak is one deterministic loopback
+// run under the simulator clock.
+func RunSoak(cfg SoakConfig) (*SoakResult, error) {
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = DefaultSoakEpochs
+	}
+	if cfg.EpochLen <= 0 {
+		cfg.EpochLen = DefaultEpochLen
+	}
+	if cfg.EpochLen <= soakHealWindow {
+		return nil, fmt.Errorf("testnet: epoch %.3gs not longer than the %.3gs heal window", cfg.EpochLen, soakHealWindow)
+	}
+	if len(cfg.Plans) == 0 {
+		cfg.Plans = DefaultSoakPlans()
+	}
+	if cfg.Lease.Period <= 0 {
+		cfg.Lease.Period = 0.5
+	}
+	if cfg.Readvertise <= 0 {
+		cfg.Readvertise = 0.75
+	}
+
+	active := cfg.EpochLen - soakHealWindow
+	res := &SoakResult{}
+	var hooks []soakHook
+	for e := 0; e < cfg.Epochs; e++ {
+		e := e
+		base := float64(e) * cfg.EpochLen
+		pidx := e % len(cfg.Plans)
+		plan := cfg.Plans[pidx]
+		seed := cfg.Seed + int64(e)
+
+		// Rules run only inside the active window; the heal window is
+		// injection-free.
+		hooks = append(hooks,
+			soakHook{at: base, fn: func(r *runner) { r.faulty.SetPlan(plan, seed) }},
+			soakHook{at: base + active, fn: func(r *runner) { r.faulty.SetPlan(nil, 0) }},
+		)
+		// Node faults are epoch-relative and clamped into the active
+		// window so every agent is back before the audit.
+		for _, nf := range plan.Nodes {
+			nf := nf
+			start := base + clampF(nf.At, 0, active-0.5)
+			end := base + active
+			if nf.For > 0 {
+				end = base + clampF(nf.At+nf.For, 0, active)
+			}
+			switch nf.Action {
+			case "partition":
+				hooks = append(hooks,
+					soakHook{at: start, fn: func(r *runner) { r.faulty.Partition(nf.Node) }},
+					soakHook{at: end, fn: func(r *runner) { r.faulty.Heal(nf.Node) }},
+				)
+			case "crash":
+				hooks = append(hooks,
+					soakHook{at: start, fn: func(r *runner) { r.faulty.Crash(nf.Node) }},
+					soakHook{at: end, fn: func(r *runner) { r.faulty.Restart(nf.Node) }},
+				)
+			}
+		}
+		hooks = append(hooks, soakHook{
+			at: base + cfg.EpochLen,
+			fn: func(r *runner) { res.Reports = append(res.Reports, epochAudit(r, e, pidx)) },
+		})
+	}
+
+	run, err := Run(Config{
+		Mode:        ModeLoopback,
+		Script:      soakScript(randx.New(cfg.Seed), cfg.Epochs, cfg.EpochLen, active),
+		Horizon:     float64(cfg.Epochs)*cfg.EpochLen + 1,
+		Faults:      &netfaults.Plan{}, // hooks swap the live plan per epoch
+		FaultSeed:   cfg.Seed,
+		Lease:       cfg.Lease,
+		Readvertise: cfg.Readvertise,
+		Lenient:     true,
+		hooks:       hooks,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Run = run
+
+	for _, rep := range res.Reports {
+		res.Violations = append(res.Violations, rep.Violations...)
+	}
+	res.Violations = append(res.Violations, run.Violations...)
+	for _, rep := range res.Reports {
+		line, err := json.Marshal(rep)
+		if err != nil {
+			return nil, err
+		}
+		res.ReportJSONL = append(res.ReportJSONL, line...)
+		res.ReportJSONL = append(res.ReportJSONL, '\n')
+	}
+	if cfg.Out != nil {
+		if _, err := cfg.Out.Write(res.ReportJSONL); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// epochAudit runs the full fault oracle mid-run: zero pending holds,
+// ledger conservation, live-set consistency, and WaterFill convergence
+// — the same checks the final audit applies, here applied after every
+// healed epoch.
+func epochAudit(r *runner, epoch, plan int) EpochReport {
+	aud := faults.Auditor{
+		Ledger:       r.lg,
+		PendingHolds: r.plane.PendingTotal,
+		LiveConns:    r.liveConns,
+		ConvergenceGap: func() float64 {
+			return convergenceGap(r.proto)
+		},
+		GapTol: 1e-6,
+	}
+	viol := aud.CheckFinal()
+	if viol == nil {
+		viol = []string{}
+	}
+	rep := EpochReport{
+		Epoch:        epoch,
+		Time:         r.clk.Now(),
+		Plan:         plan,
+		Commits:      r.commits,
+		Aborted:      r.aborted,
+		Live:         len(r.live),
+		PendingHolds: r.plane.PendingTotal(),
+		Gap:          convergenceGap(r.proto),
+		Violations:   viol,
+	}
+	if r.faulty != nil {
+		rep.PartitionDrops = r.faulty.PartitionDrops
+		rep.Crashes = r.faulty.Crashes
+		rep.Restarts = r.faulty.Restarts
+		rep.Drops, rep.Dups, rep.Delays, rep.Reorders = r.faulty.Stats()
+	}
+	if r.lease != nil {
+		rep.Reclaims = r.lease.Reclaims
+	}
+	return rep
+}
+
+// soakScript generates the epoch workload: 3–5 setups early in each
+// epoch's active window, one handoff and up to two closes later in it.
+// Everything derives from the seeded generator, so the script — like
+// the faults — replays exactly.
+func soakScript(rng *randx.Rand, epochs int, epochLen, active float64) []Step {
+	cells := []topology.CellID{
+		"off-1", "off-2", "off-3", "cor-w1", "cor-w2", "cor-e1", "meet", "cafe", "lounge",
+	}
+	var steps []Step
+	var pool []string
+	for e := 0; e < epochs; e++ {
+		base := float64(e) * epochLen
+		n := 3 + rng.Intn(3)
+		for i := 0; i < n; i++ {
+			conn := fmt.Sprintf("e%ds%d:0", e, i)
+			min := 100e3 + float64(rng.Intn(4))*50e3
+			steps = append(steps, Step{
+				At:   base + 0.1 + rng.Float64()*active*0.5,
+				Op:   OpSetup,
+				Conn: conn,
+				Cell: cells[rng.Intn(len(cells))],
+				Host: rng.Intn(2),
+				Min:  min,
+				Max:  min + float64(1+rng.Intn(5))*200e3,
+			})
+			pool = append(pool, conn)
+		}
+		if len(pool) > 0 {
+			steps = append(steps, Step{
+				At:   base + active*0.5 + rng.Float64()*active*0.3,
+				Op:   OpHandoff,
+				Conn: pool[rng.Intn(len(pool))],
+				Cell: cells[rng.Intn(len(cells))],
+				Host: rng.Intn(2),
+				Min:  150e3,
+				Max:  600e3,
+			})
+		}
+		for k := 0; k < 2 && len(pool) > 0; k++ {
+			i := rng.Intn(len(pool))
+			conn := pool[i]
+			pool = append(pool[:i], pool[i+1:]...)
+			steps = append(steps, Step{
+				At:   base + active*0.6 + rng.Float64()*active*0.35,
+				Op:   OpClose,
+				Conn: conn,
+			})
+		}
+	}
+	return steps
+}
+
+func clampF(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

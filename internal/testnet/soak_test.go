@@ -1,0 +1,105 @@
+package testnet
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateSoak = flag.Bool("update-soak", false, "rewrite the soak golden report")
+
+// soakGateConfig is the short deterministic soak the `make soak` gate
+// runs: three epochs cover the full default plan rotation — loss +
+// reorder, partition, crash/restart — in a fraction of a second of
+// wall time.
+func soakGateConfig() SoakConfig {
+	return SoakConfig{Epochs: 3, Seed: 42}
+}
+
+// TestSoakGolden pins the soak report byte-for-byte: the same seed must
+// reproduce the identical JSONL on every machine, and the audited
+// epochs must all be violation-free with every fault family exercised.
+func TestSoakGolden(t *testing.T) {
+	res, err := RunSoak(soakGateConfig())
+	if err != nil {
+		t.Fatalf("soak: %v", err)
+	}
+	if len(res.Violations) > 0 {
+		t.Fatalf("soak violations: %v", res.Violations)
+	}
+	if len(res.Reports) != 3 {
+		t.Fatalf("audited %d epochs, want 3", len(res.Reports))
+	}
+	for _, rep := range res.Reports {
+		if len(rep.Violations) > 0 {
+			t.Errorf("epoch %d violations: %v", rep.Epoch, rep.Violations)
+		}
+		if rep.PendingHolds != 0 {
+			t.Errorf("epoch %d leaked %g of pending holds", rep.Epoch, rep.PendingHolds)
+		}
+	}
+	// The acceptance plan must actually combine loss, reordering, a
+	// partition, and one crash/restart cycle.
+	last := res.Reports[len(res.Reports)-1]
+	if last.Drops == 0 || last.Reorders == 0 || last.PartitionDrops == 0 {
+		t.Errorf("fault families idle: %+v", last)
+	}
+	if last.Crashes != 1 || last.Restarts != 1 {
+		t.Errorf("crash lifecycle ran %d/%d times, want 1/1", last.Crashes, last.Restarts)
+	}
+	if last.Commits == 0 {
+		t.Error("workload committed nothing")
+	}
+
+	golden := filepath.Join("testdata", "soak_golden.jsonl")
+	if *updateSoak {
+		if err := os.WriteFile(golden, res.ReportJSONL, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("golden (regenerate with -update-soak): %v", err)
+	}
+	if !bytes.Equal(res.ReportJSONL, want) {
+		t.Fatalf("soak report drifted from golden:\n got: %s\nwant: %s", res.ReportJSONL, want)
+	}
+}
+
+// TestSoakDeterministic pins run-to-run identity independent of the
+// golden file, plus seed sensitivity.
+func TestSoakDeterministic(t *testing.T) {
+	a, err := RunSoak(soakGateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSoak(soakGateConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.ReportJSONL, b.ReportJSONL) {
+		t.Fatalf("soak not deterministic:\n%s\nvs\n%s", a.ReportJSONL, b.ReportJSONL)
+	}
+	if !bytes.Equal(a.Run.ControllerTrace, b.Run.ControllerTrace) {
+		t.Fatal("controller traces diverged across identical soaks")
+	}
+	cfg := soakGateConfig()
+	cfg.Seed = 43
+	c, err := RunSoak(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Equal(a.ReportJSONL, c.ReportJSONL) {
+		t.Fatal("different seeds produced the identical soak (suspicious)")
+	}
+}
+
+// TestSoakRejectsShortEpoch pins the config guard: an epoch must leave
+// room for the heal window.
+func TestSoakRejectsShortEpoch(t *testing.T) {
+	if _, err := RunSoak(SoakConfig{EpochLen: 3}); err == nil {
+		t.Fatal("short epoch accepted")
+	}
+}

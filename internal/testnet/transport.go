@@ -27,6 +27,11 @@ type transport interface {
 	// controller's SignalAbort events, since rollbacks release state
 	// locally rather than crossing the delivery seam).
 	Abort(conn string, hop int, reason string)
+	// Control sends one out-of-band controller frame (lease renewals,
+	// resync state transfer, re-hello) to a named agent and reports
+	// whether it was acked. Control frames bypass the routing registry —
+	// they are addressed to an agent, not a hop.
+	Control(agent string, m wire.Message) bool
 	// Hello announces the controller to every agent; Shutdown asks the
 	// agents to exit after acking.
 	Hello() error
@@ -107,34 +112,42 @@ func (t *loopbackTransport) failf(format string, args ...any) {
 	t.errs = append(t.errs, fmt.Sprintf(format, args...))
 }
 
-func (t *loopbackTransport) send(agent string, m wire.Message) {
+// send delivers one frame synchronously and reports whether the node
+// acked it — always true on the healthy loopback path; failures are
+// also latched as fabric errors.
+func (t *loopbackTransport) send(agent string, m wire.Message) bool {
 	n := t.nodes[agent]
 	if n == nil {
 		t.failf("no node agent %q", agent)
-		return
+		return false
 	}
 	t.seq++
 	frame, err := wire.AppendFrame(t.buf[:0], t.seq, m)
 	if err != nil {
 		t.failf("encode %T: %v", m, err)
-		return
+		return false
 	}
 	t.buf = frame[:0]
 	ack, _, err := n.HandleFrame(frame)
 	if err != nil {
 		t.failf("%s rejected %T: %v", agent, m, err)
-		return
+		return false
 	}
 	am, _, err := wire.Decode(ack)
 	if err != nil {
 		t.failf("%s ack undecodable: %v", agent, err)
-		return
+		return false
 	}
 	if a, ok := am.(wire.Ack); !ok || a.AckSeq != t.seq {
 		t.failf("%s acked %v, want %d", agent, am, t.seq)
-		return
+		return false
 	}
 	t.sent++
+	return true
+}
+
+func (t *loopbackTransport) Control(agent string, m wire.Message) bool {
+	return t.send(agent, m)
 }
 
 func (t *loopbackTransport) SignalDeliver(conn string, hop int) (bool, float64) {
@@ -280,6 +293,10 @@ func (t *udpTransport) send(agent string, m wire.Message) bool {
 		}
 		// A stale ack from an earlier timed-out frame: keep reading.
 	}
+}
+
+func (t *udpTransport) Control(agent string, m wire.Message) bool {
+	return t.send(agent, m)
 }
 
 func (t *udpTransport) SignalDeliver(conn string, hop int) (bool, float64) {

@@ -59,6 +59,10 @@ func decodedStrings(m Message) []string {
 		return []string{v.Conn}
 	case Update:
 		return []string{v.Conn}
+	case LeaseRenew:
+		return []string{v.Conn}
+	case Resync:
+		return []string{v.Conn}
 	default:
 		return nil
 	}

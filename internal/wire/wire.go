@@ -64,6 +64,17 @@ const (
 	TUpdate
 	// TShutdown asks a node process to exit after acking.
 	TShutdown
+	// TLeaseRenew renews the hold lease covering one live connection's
+	// reservation on the receiving node's links (or, with an empty
+	// connection, acts as a pure liveness heartbeat). An agent that
+	// stops acking renewals is declared dead after the miss budget and
+	// the controller reclaims the leases — releasing the reservations
+	// routed over the agent's links instead of leaking them.
+	TLeaseRenew
+	// TResync replays one live connection's reservation state to an
+	// agent that restarted (or healed from a partition) with an empty
+	// mirror — the re-LISTEN handshake's state transfer.
+	TResync
 
 	typeCount = iota + 1
 )
@@ -77,6 +88,8 @@ var typeNames = [typeCount]string{
 	TAdvertise:    "advertise",
 	TUpdate:       "update",
 	TShutdown:     "shutdown",
+	TLeaseRenew:   "lease-renew",
+	TResync:       "resync",
 }
 
 // String returns the stable wire name (used in node traces).
@@ -157,6 +170,30 @@ type Update struct {
 // Shutdown asks the receiving node process to exit after acking.
 type Shutdown struct{}
 
+// LeaseRenew renews the hold lease for one live connection whose
+// reservation crosses the receiving agent's links. Conn may be empty:
+// a bare heartbeat probing agent liveness when no connection is routed
+// through it. TTL is the lease duration in seconds from receipt — a
+// relative coordinate, so controller and node wall clocks need not
+// agree on an epoch. The node prunes mirrored connections whose lease
+// lapses, so a controller partitioned away cannot pin node-side state
+// forever.
+type LeaseRenew struct {
+	Conn      string
+	Bandwidth float64
+	TTL       float64
+}
+
+// Resync replays one live connection's reservation to an agent whose
+// mirror state was lost (crash/restart) or may have decayed
+// (partition): the state-transfer half of the re-LISTEN handshake. It
+// carries the same lease TTL a renewal would.
+type Resync struct {
+	Conn      string
+	Bandwidth float64
+	TTL       float64
+}
+
 func (Hello) WireType() Type        { return THello }
 func (Ack) WireType() Type          { return TAck }
 func (SignalSetup) WireType() Type  { return TSignalSetup }
@@ -165,6 +202,8 @@ func (SignalAbort) WireType() Type  { return TSignalAbort }
 func (Advertise) WireType() Type    { return TAdvertise }
 func (Update) WireType() Type       { return TUpdate }
 func (Shutdown) WireType() Type     { return TShutdown }
+func (LeaseRenew) WireType() Type   { return TLeaseRenew }
+func (Resync) WireType() Type       { return TResync }
 
 // headerLen is the fixed frame overhead before the body.
 const headerLen = 8
@@ -210,6 +249,14 @@ func AppendFrame(dst []byte, seq uint32, m Message) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint16(dst, v.Hop)
 		dst = appendFloat(dst, v.Rate)
 	case Shutdown:
+	case LeaseRenew:
+		dst, err = appendString(dst, v.Conn)
+		dst = appendFloat(dst, v.Bandwidth)
+		dst = appendFloat(dst, v.TTL)
+	case Resync:
+		dst, err = appendString(dst, v.Conn)
+		dst = appendFloat(dst, v.Bandwidth)
+		dst = appendFloat(dst, v.TTL)
 	default:
 		return dst[:start], fmt.Errorf("%w: %T", ErrType, m)
 	}
@@ -261,6 +308,10 @@ func Decode(frame []byte) (Message, uint32, error) {
 		m = Update{Conn: d.string(), Hop: d.uint16(), Rate: d.float()}
 	case TShutdown:
 		m = Shutdown{}
+	case TLeaseRenew:
+		m = LeaseRenew{Conn: d.string(), Bandwidth: d.float(), TTL: d.float()}
+	case TResync:
+		m = Resync{Conn: d.string(), Bandwidth: d.float(), TTL: d.float()}
 	default:
 		return nil, 0, fmt.Errorf("%w: %d", ErrType, uint8(typ))
 	}

@@ -22,6 +22,8 @@ func everyMessage() []Message {
 		Advertise{Conn: "carol:1", Hop: 5, Round: 4, Stamp: 987654.321},
 		Update{Conn: "dave:3", Hop: 2, Rate: 1.6e6},
 		Shutdown{},
+		LeaseRenew{Conn: "alice:0", Bandwidth: 256e3, TTL: 4.25},
+		Resync{Conn: "dave:3", Bandwidth: 300e3, TTL: 9.5},
 	}
 }
 
@@ -70,6 +72,8 @@ func TestRoundTripEdgeValues(t *testing.T) {
 		Update{Conn: "c", Hop: 0, Rate: -0.0},
 		Advertise{Conn: "c", Hop: 0, Round: math.MaxUint16, Stamp: math.SmallestNonzeroFloat64},
 		Ack{AckSeq: math.MaxUint32},
+		LeaseRenew{Conn: "", Bandwidth: 0, TTL: math.Inf(1)},
+		Resync{Conn: long, Bandwidth: -0.0, TTL: 0},
 	}
 	for _, m := range msgs {
 		frame, err := Encode(math.MaxUint32, m)
