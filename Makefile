@@ -1,12 +1,13 @@
 GO ?= go
 
-.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs arena testnet soak
+.PHONY: ci vet build test race fuzz-short fuzz bench bench-capture bench-smoke golden trace-determinism chaos overload obs obs-live arena testnet soak
 
 ## ci: the full pre-merge gate — vet, build, tests under the race
 ## detector, the fuzz seed corpora in short mode, the event-trace
-## replication check, the chaos, overload, observability, arena,
-## testnet and soak gates, and the bench-capture smoke check.
-ci: vet build race fuzz-short trace-determinism chaos overload obs arena testnet soak bench-smoke
+## replication check, the chaos, overload, observability (sim and
+## live), arena, testnet and soak gates, and the bench-capture smoke
+## check.
+ci: vet build race fuzz-short trace-determinism chaos overload obs obs-live arena testnet soak bench-smoke
 
 vet:
 	$(GO) vet ./...
@@ -38,8 +39,8 @@ fuzz:
 ## has one. Timings scroll by; use bench-capture to record them.
 BENCHPKGS = . ./internal/admission ./internal/dataplane ./internal/des \
 	./internal/eventbus ./internal/maxmin ./internal/obs \
-	./internal/reserve ./internal/sched ./internal/strategy \
-	./internal/testnet ./internal/wire
+	./internal/obs/live ./internal/reserve ./internal/sched \
+	./internal/strategy ./internal/testnet ./internal/wire
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' $(BENCHPKGS)
 
@@ -85,6 +86,18 @@ obs:
 	$(GO) test -race -run 'Obs' ./internal/sim
 	$(GO) test -race ./internal/obs
 
+## obs-live: the live-plane observability gate — arming the wire
+## recorders must leave the controller and node traces byte-identical
+## (the zero-perturbation pin), the armed loopback run's cluster
+## snapshot and span export must match the checked-in golden
+## byte-for-byte, the disabled hook path must stay allocation-free,
+## and the shared telemetry endpoints (armsim and armnode alike) must
+## serve metrics, health, span tails and profiles correctly.
+obs-live:
+	$(GO) test -run 'TestLiveObs|TestDisabledPathZeroAlloc' -count=1 ./internal/testnet ./internal/obs/live
+	$(GO) test -race ./internal/obs/live ./internal/telemetry
+	$(GO) test -race -run 'Telemetry' ./cmd/armsim ./cmd/armnode
+
 ## arena: the strategy-seam gate — the head-to-head roster runs under
 ## the race detector (worker-count determinism, the pinned seed-1
 ## comparative snapshot, the default pair's equivalence to the plain
@@ -120,3 +133,5 @@ golden:
 	$(GO) test ./internal/sim -run TestOverloadTraceGolden -update-overload
 	$(GO) test ./internal/sim -run TestObsSnapshotGolden -update-obs
 	$(GO) test ./internal/sim -run TestArenaSnapshotGolden -update-arena
+	$(GO) test ./internal/testnet -run TestSoakGolden -update-soak
+	$(GO) test ./internal/testnet -run TestLiveObsSnapshotGolden -update-live

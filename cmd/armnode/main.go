@@ -28,6 +28,11 @@
 //	    loopback fabric under a rotating netfaults plan, each epoch
 //	    audited for leaked holds, ledger conservation, and rate
 //	    convergence. Exits non-zero on any violation.
+//
+// Every mode except loopback accepts -telemetry-addr, which serves the
+// shared diagnostics endpoint (/metrics, /healthz, /spans,
+// /debug/pprof) backed by the mode's live wire recorders for the
+// duration of the run.
 package main
 
 import (
@@ -41,7 +46,9 @@ import (
 	"strings"
 	"time"
 
+	"armnet/internal/clock"
 	"armnet/internal/netfaults"
+	"armnet/internal/obs/live"
 	"armnet/internal/testnet"
 )
 
@@ -58,6 +65,7 @@ func main() {
 		seed    = flag.Int64("seed", 42, "workload and fault seed (soak mode)")
 		plan    = flag.String("plan", "", "netfaults plan file (soak mode; empty = default rotation)")
 		out     = flag.String("out", "", "soak report JSONL file (soak mode; empty = stdout)")
+		telAddr = flag.String("telemetry-addr", "", "serve /metrics, /healthz, /spans, /debug/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -66,13 +74,13 @@ func main() {
 	case "loopback":
 		err = runLoopback()
 	case "node":
-		err = runNode(*name, *listen, *trace)
+		err = runNode(*name, *listen, *trace, *telAddr)
 	case "controller":
-		_, err = runController(*peers, *horizon)
+		_, err = runController(*peers, *horizon, *telAddr)
 	case "orchestrate":
-		err = runOrchestrate(*dir, *horizon)
+		err = runOrchestrate(*dir, *horizon, *telAddr)
 	case "soak":
-		err = runSoak(*epochs, *seed, *plan, *out)
+		err = runSoak(*epochs, *seed, *plan, *out, *telAddr)
 	default:
 		err = fmt.Errorf("unknown mode %q", *mode)
 	}
@@ -109,7 +117,7 @@ func runLoopback() error {
 }
 
 // runNode serves one agent until shutdown, then writes its trace.
-func runNode(name, listen, traceFile string) error {
+func runNode(name, listen, traceFile, telAddr string) error {
 	if name == "" {
 		return fmt.Errorf("node mode needs -name")
 	}
@@ -122,9 +130,21 @@ func runNode(name, listen, traceFile string) error {
 		return err
 	}
 	defer pc.Close()
+	var rec *live.NodeRecorder
+	if telAddr != "" {
+		rec = live.NewNodeRecorder(name)
+		tel, err := newNodeTelemetry(telAddr, "node", 1, nil, rec)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("armnode: telemetry on http://%s\n", tel.srv.Addr())
+		defer tel.close()
+		defer tel.finish()
+	}
 	fmt.Printf("LISTEN %s\n", pc.LocalAddr())
-	node, err := testnet.ServeNodeUDP(name, pc)
-	if err != nil {
+	node := testnet.NewNode(name, clock.NewWall())
+	node.SetObs(rec)
+	if err := node.ServeUDP(pc); err != nil {
 		return err
 	}
 	tr, err := node.Trace()
@@ -139,7 +159,7 @@ func runNode(name, listen, traceFile string) error {
 }
 
 // runController drives the scenario over UDP against running agents.
-func runController(peerList string, horizon float64) (*testnet.Result, error) {
+func runController(peerList string, horizon float64, telAddr string) (*testnet.Result, error) {
 	peers := map[string]string{}
 	for _, kv := range strings.Split(peerList, ",") {
 		k, v, ok := strings.Cut(strings.TrimSpace(kv), "=")
@@ -148,9 +168,24 @@ func runController(peerList string, horizon float64) (*testnet.Result, error) {
 		}
 		peers[k] = v
 	}
-	res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
+	cfg := testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon}
+	var tel *nodeTelemetry
+	if telAddr != "" {
+		ctl := live.NewController(nil)
+		cfg.Obs = ctl
+		var err error
+		if tel, err = newNodeTelemetry(telAddr, "controller", 1, ctl); err != nil {
+			return nil, err
+		}
+		fmt.Printf("armnode: telemetry on http://%s\n", tel.srv.Addr())
+		defer tel.close()
+	}
+	res, err := testnet.Run(cfg)
 	if err != nil {
 		return nil, err
+	}
+	if tel != nil {
+		tel.finish()
 	}
 	if err := clean(res); err != nil {
 		return res, err
@@ -162,10 +197,21 @@ func runController(peerList string, horizon float64) (*testnet.Result, error) {
 // runOrchestrate spawns one armnode process per agent, runs the
 // controller, and diffs the cluster's traces against the loopback
 // reference.
-func runOrchestrate(dir string, horizon float64) error {
+func runOrchestrate(dir string, horizon float64, telAddr string) error {
 	ref, err := testnet.Run(testnet.Config{Mode: testnet.ModeLoopback})
 	if err != nil {
 		return err
+	}
+	ctrlCfg := testnet.Config{Mode: testnet.ModeUDP, Horizon: horizon}
+	var tel *nodeTelemetry
+	if telAddr != "" {
+		ctl := live.NewController(nil)
+		ctrlCfg.Obs = ctl
+		if tel, err = newNodeTelemetry(telAddr, "orchestrate", 1, ctl); err != nil {
+			return err
+		}
+		fmt.Printf("armnode: telemetry on http://%s\n", tel.srv.Addr())
+		defer tel.close()
 	}
 	self, err := os.Executable()
 	if err != nil {
@@ -229,8 +275,9 @@ func runOrchestrate(dir string, horizon float64) error {
 		err error
 	}
 	ctrlDone := make(chan ctrl, 1)
+	ctrlCfg.Peers = peers
 	go func() {
-		res, err := testnet.Run(testnet.Config{Mode: testnet.ModeUDP, Peers: peers, Horizon: horizon})
+		res, err := testnet.Run(ctrlCfg)
 		ctrlDone <- ctrl{res, err}
 	}()
 	// A clean node exit only ever follows the controller's shutdown frame,
@@ -267,6 +314,9 @@ func runOrchestrate(dir string, horizon float64) error {
 			return fmt.Errorf("%d node(s) never exited after shutdown", len(agents)-reaped)
 		}
 	}
+	if tel != nil {
+		tel.finish()
+	}
 	if err := clean(res); err != nil {
 		return err
 	}
@@ -292,7 +342,7 @@ func runOrchestrate(dir string, horizon float64) error {
 }
 
 // runSoak drives the chaos soak and writes the epoch report JSONL.
-func runSoak(epochs int, seed int64, planFile, outFile string) error {
+func runSoak(epochs int, seed int64, planFile, outFile, telAddr string) error {
 	cfg := testnet.SoakConfig{Epochs: epochs, Seed: seed}
 	if planFile != "" {
 		data, err := os.ReadFile(planFile)
@@ -304,6 +354,23 @@ func runSoak(epochs int, seed int64, planFile, outFile string) error {
 			return fmt.Errorf("%s: %w", planFile, err)
 		}
 		cfg.Plans = []*netfaults.Plan{plan}
+	}
+	if telAddr != "" {
+		total := epochs
+		if total <= 0 {
+			total = testnet.DefaultSoakEpochs
+		}
+		ctl := live.NewController(nil)
+		cfg.Obs = ctl
+		tel, err := newNodeTelemetry(telAddr, "soak", total, ctl)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("armnode: telemetry on http://%s\n", tel.srv.Addr())
+		defer tel.close()
+		// Every epoch report lands on cfg.Out as it is produced, driving
+		// the /healthz progress counter mid-soak.
+		cfg.Out = epochCounter{tel}
 	}
 	res, err := testnet.RunSoak(cfg)
 	if err != nil {

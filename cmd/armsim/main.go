@@ -366,14 +366,14 @@ func run(sc scenario, seed int64, replications, parallel int, out, statsOut io.W
 	seeds := runner.Seeds(seed, replications)
 	prog := runner.NewProgress(replications)
 	ctx := runner.WithProgress(context.Background(), prog)
-	var tel *telemetry
+	var tel *armsimTelemetry
 	if sc.telemetryAddr != "" {
 		var err error
 		tel, err = newTelemetry(sc.telemetryAddr, replications, prog)
 		if err != nil {
 			return err
 		}
-		fmt.Fprintf(statsOut, "armsim: telemetry on http://%s\n", tel.addr)
+		fmt.Fprintf(statsOut, "armsim: telemetry on http://%s\n", tel.srv.Addr())
 		defer func() {
 			if sc.telemetryLinger > 0 {
 				fmt.Fprintf(statsOut, "armsim: telemetry lingering %.0fs\n", sc.telemetryLinger)

@@ -1,26 +1,21 @@
 package main
 
 import (
-	"bytes"
-	"encoding/json"
-	"fmt"
-	"net"
-	"net/http"
-	"net/http/pprof"
-	"strconv"
 	"sync"
 
 	"armnet"
 	"armnet/internal/runner"
+	"armnet/internal/telemetry"
 )
 
-// telemetry is the optional wall-clock observation window into a running
-// armsim invocation (-telemetry-addr). It never feeds anything back into
-// the simulation: replications publish their finished snapshots and span
-// streams into a mutex-guarded store, and HTTP handlers only read it, so
-// scraping cannot perturb the deterministic results.
+// armsimTelemetry is the optional wall-clock observation window into a
+// running armsim invocation (-telemetry-addr). It never feeds anything
+// back into the simulation: replications publish their finished
+// snapshots and span streams into a mutex-guarded store, and the shared
+// telemetry server's handlers only read it, so scraping cannot perturb
+// the deterministic results.
 //
-// Endpoints:
+// Endpoints (served by internal/telemetry):
 //
 //	/metrics  Prometheus text of the replications merged so far
 //	          (merged in replication order — the same bytes the
@@ -28,45 +23,65 @@ import (
 //	/healthz  JSON progress: {"done":N,"total":M,"complete":bool}
 //	/spans    tail of the JSONL span stream (?n=lines, default 100)
 //	/debug/pprof/...  the standard Go profiles
-type telemetry struct {
+type armsimTelemetry struct {
 	mu    sync.Mutex
 	snaps []*armnet.ObsSnapshot // indexed by replication
 	spans [][]byte              // indexed by replication
 	prog  *runner.Progress
-	srv   *http.Server
-	addr  string
+	srv   *telemetry.Server
 }
 
 // newTelemetry binds the listener and starts serving immediately, so the
 // endpoint answers (with empty data) before the first replication lands.
-func newTelemetry(addr string, replications int, prog *runner.Progress) (*telemetry, error) {
-	t := &telemetry{
+func newTelemetry(addr string, replications int, prog *runner.Progress) (*armsimTelemetry, error) {
+	t := &armsimTelemetry{
 		snaps: make([]*armnet.ObsSnapshot, replications),
 		spans: make([][]byte, replications),
 		prog:  prog,
 	}
-	mux := http.NewServeMux()
-	mux.HandleFunc("/metrics", t.metrics)
-	mux.HandleFunc("/healthz", t.healthz)
-	mux.HandleFunc("/spans", t.spansTail)
-	// pprof registers on its own mux here, not the global default one.
-	mux.HandleFunc("/debug/pprof/", pprof.Index)
-	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
-	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
-	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
-	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-	ln, err := net.Listen("tcp", addr)
+	srv, err := telemetry.Serve(addr, t.options())
 	if err != nil {
 		return nil, err
 	}
-	t.addr = ln.Addr().String()
-	t.srv = &http.Server{Handler: mux}
-	go func() { _ = t.srv.Serve(ln) }()
+	t.srv = srv
 	return t, nil
 }
 
+// options wires the replication store into the shared endpoint; split
+// out from newTelemetry so tests can mount the handlers on httptest
+// without binding a real port.
+func (t *armsimTelemetry) options() telemetry.Options {
+	return telemetry.Options{
+		Metrics: func() ([]byte, error) {
+			snap, err := t.merged()
+			if err != nil {
+				return nil, err
+			}
+			if snap == nil {
+				return nil, nil
+			}
+			return snap.Prometheus(), nil
+		},
+		Health: func() any {
+			done, total := t.prog.Done(), t.prog.Total()
+			return map[string]any{
+				"done": done, "total": total, "complete": done >= total,
+			}
+		},
+		Spans: func() []byte {
+			t.mu.Lock()
+			defer t.mu.Unlock()
+			var joined []byte
+			for _, s := range t.spans {
+				joined = append(joined, s...)
+			}
+			return joined
+		},
+	}
+}
+
 // publish stores one finished replication's exports.
-func (t *telemetry) publish(i int, snap *armnet.ObsSnapshot, spans []byte) {
+func (t *armsimTelemetry) publish(i int, snap *armnet.ObsSnapshot, spans []byte) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if i >= 0 && i < len(t.snaps) {
@@ -76,57 +91,11 @@ func (t *telemetry) publish(i int, snap *armnet.ObsSnapshot, spans []byte) {
 }
 
 // merged folds the snapshots published so far, in replication order.
-func (t *telemetry) merged() (*armnet.ObsSnapshot, error) {
+func (t *armsimTelemetry) merged() (*armnet.ObsSnapshot, error) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	return armnet.MergeObsSnapshots(t.snaps)
 }
 
-func (t *telemetry) metrics(w http.ResponseWriter, _ *http.Request) {
-	snap, err := t.merged()
-	if err != nil {
-		http.Error(w, err.Error(), http.StatusInternalServerError)
-		return
-	}
-	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	if snap != nil {
-		_, _ = w.Write(snap.Prometheus())
-	}
-}
-
-func (t *telemetry) healthz(w http.ResponseWriter, _ *http.Request) {
-	done, total := t.prog.Done(), t.prog.Total()
-	w.Header().Set("Content-Type", "application/json")
-	_ = json.NewEncoder(w).Encode(map[string]any{
-		"done": done, "total": total, "complete": done >= total,
-	})
-}
-
-func (t *telemetry) spansTail(w http.ResponseWriter, r *http.Request) {
-	n := 100
-	if v := r.URL.Query().Get("n"); v != "" {
-		parsed, err := strconv.Atoi(v)
-		if err != nil || parsed < 0 {
-			http.Error(w, fmt.Sprintf("bad n %q", v), http.StatusBadRequest)
-			return
-		}
-		n = parsed
-	}
-	t.mu.Lock()
-	joined := bytes.Join(t.spans, nil)
-	t.mu.Unlock()
-	lines := bytes.SplitAfter(joined, []byte("\n"))
-	// SplitAfter leaves a trailing empty element when the stream ends in \n.
-	if len(lines) > 0 && len(lines[len(lines)-1]) == 0 {
-		lines = lines[:len(lines)-1]
-	}
-	if len(lines) > n {
-		lines = lines[len(lines)-n:]
-	}
-	w.Header().Set("Content-Type", "application/x-ndjson")
-	_, _ = w.Write(bytes.Join(lines, nil))
-}
-
-// close stops the server; in-flight handlers are cut off, which is fine
-// for a diagnostics endpoint.
-func (t *telemetry) close() { _ = t.srv.Close() }
+// close stops the server.
+func (t *armsimTelemetry) close() { t.srv.Close() }

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"armnet/internal/obs"
+	"armnet/internal/runner"
+	"armnet/internal/telemetry"
+)
+
+func telemetryGet(t *testing.T, h http.Handler, path string) (int, string) {
+	t.Helper()
+	req := httptest.NewRequest("GET", path, nil)
+	rec := httptest.NewRecorder()
+	h.ServeHTTP(rec, req)
+	res := rec.Result()
+	body, err := io.ReadAll(res.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.StatusCode, string(body)
+}
+
+func snapWith(name string, v float64) *obs.Snapshot {
+	reg := obs.NewRegistry()
+	reg.Counter(name, nil).Add(v)
+	return reg.Snapshot()
+}
+
+// TestArmsimTelemetryEndpoints mounts the armsim store on the shared
+// handler without binding a port: replications publish, /metrics serves
+// the merge so far, /healthz tracks progress, /spans tails the joined
+// stream.
+func TestArmsimTelemetryEndpoints(t *testing.T) {
+	st := &armsimTelemetry{
+		snaps: make([]*obs.Snapshot, 2),
+		spans: make([][]byte, 2),
+		prog:  runner.NewProgress(2),
+	}
+	h := telemetry.NewHandler(st.options())
+
+	// Before any replication lands, the endpoints answer with empty data.
+	if code, body := telemetryGet(t, h, "/metrics"); code != 200 || body != "" {
+		t.Fatalf("empty metrics: %d %q", code, body)
+	}
+	code, body := telemetryGet(t, h, "/healthz")
+	if code != 200 || !strings.Contains(body, `"complete":false`) {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+
+	st.publish(0, snapWith("armnet_sim_commits_total", 3), []byte("{\"span\":0}\n"))
+	st.publish(1, snapWith("armnet_sim_commits_total", 4), []byte("{\"span\":1}\n"))
+
+	if code, body = telemetryGet(t, h, "/metrics"); code != 200 ||
+		!strings.Contains(body, "armnet_sim_commits_total 7") {
+		t.Fatalf("merged metrics: %d %q", code, body)
+	}
+	if code, body = telemetryGet(t, h, "/spans?n=1"); code != 200 || body != "{\"span\":1}\n" {
+		t.Fatalf("span tail: %d %q", code, body)
+	}
+	if code, _ = telemetryGet(t, h, "/spans?n=bogus"); code != 400 {
+		t.Fatalf("bad n: %d", code)
+	}
+	if code, _ = telemetryGet(t, h, "/no-such"); code != 404 {
+		t.Fatalf("unknown path: %d", code)
+	}
+
+	// Out-of-range publishes are dropped, not stored.
+	st.publish(7, snapWith("x_total", 1), nil)
+	if _, body = telemetryGet(t, h, "/metrics"); strings.Contains(body, "x_total") {
+		t.Fatal("out-of-range publish leaked into the merge")
+	}
+}

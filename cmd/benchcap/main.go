@@ -48,7 +48,7 @@ var areas = []area{
 	{Name: "admission", Pkg: "./internal/admission", Pattern: ".", Benchtime: "2000x"},
 	{Name: "maxmin", Pkg: "./internal/maxmin", Pattern: ".", Benchtime: "500x"},
 	{Name: "eventbus", Pkg: "./internal/eventbus", Pattern: ".", Benchtime: "100000x"},
-	{Name: "obs", Pkg: "./internal/obs", Pattern: ".", Benchtime: "1000x"},
+	{Name: "obs", Pkg: "./internal/obs ./internal/obs/live", Pattern: ".", Benchtime: "1000x"},
 	{Name: "wire", Pkg: "./internal/wire ./internal/testnet", Pattern: ".", Benchtime: "1000x"},
 	{Name: "sim", Pkg: ".", Pattern: "CampusEndToEnd|RunnerSweep|ScaleGridBuilding", Benchtime: "1x"},
 	{Name: "arena", Pkg: ".", Pattern: "ArenaHeadToHead", Benchtime: "1x"},

@@ -38,28 +38,36 @@ func seriesKey(name string, labels map[string]string) string {
 	return b.String()
 }
 
-type counter struct {
+// Counter is a monotone sum. Exported so sibling observability layers
+// (internal/obs/live) can build on the same instrument model and share
+// the Snapshot/Merge/Prometheus machinery.
+type Counter struct {
 	name   string
 	labels map[string]string
 	v      float64
 }
 
-func (c *counter) add(d float64) { c.v += d }
-func (c *counter) inc()          { c.v++ }
+// Add increases the counter by d.
+func (c *Counter) Add(d float64) { c.v += d }
 
-type gauge struct {
+// Inc increases the counter by one.
+func (c *Counter) Inc() { c.v++ }
+
+// Gauge is a point-in-time value.
+type Gauge struct {
 	name   string
 	labels map[string]string
 	v      float64
 }
 
-func (g *gauge) set(v float64) { g.v = v }
+// Set replaces the gauge's value.
+func (g *Gauge) Set(v float64) { g.v = v }
 
-// histogram is a fixed-boundary histogram: bounds are upper bucket edges
+// Histogram is a fixed-boundary histogram: bounds are upper bucket edges
 // in ascending order, counts has len(bounds)+1 entries (the last is the
 // overflow bucket). Fixed boundaries are what make cross-replication
 // merges well-defined.
-type histogram struct {
+type Histogram struct {
 	name   string
 	labels map[string]string
 	bounds []float64
@@ -68,7 +76,7 @@ type histogram struct {
 	n      uint64
 }
 
-func (h *histogram) observe(v float64) {
+func (h *Histogram) Observe(v float64) {
 	i := 0
 	for i < len(h.bounds) && v > h.bounds[i] {
 		i++
@@ -78,21 +86,22 @@ func (h *histogram) observe(v float64) {
 	h.n++
 }
 
-// registry owns every instrument of one observer. Lookups create on
+// Registry owns every instrument of one observer. Lookups create on
 // first use, so only series that actually fired appear in snapshots
 // (with the fixed core set pre-registered by the observer so the
 // snapshot shape is stable across runs of the same scenario family).
-type registry struct {
-	counters map[string]*counter
-	gauges   map[string]*gauge
-	hists    map[string]*histogram
+type Registry struct {
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
 }
 
-func newRegistry() *registry {
-	return &registry{
-		counters: make(map[string]*counter),
-		gauges:   make(map[string]*gauge),
-		hists:    make(map[string]*histogram),
+// NewRegistry returns an empty instrument registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: make(map[string]*Counter),
+		gauges:   make(map[string]*Gauge),
+		hists:    make(map[string]*Histogram),
 	}
 }
 
@@ -107,31 +116,36 @@ func copyLabels(labels map[string]string) map[string]string {
 	return out
 }
 
-func (r *registry) counter(name string, labels map[string]string) *counter {
+// Counter returns (creating on first use) the counter for (name, labels).
+func (r *Registry) Counter(name string, labels map[string]string) *Counter {
 	k := seriesKey(name, labels)
 	c := r.counters[k]
 	if c == nil {
-		c = &counter{name: name, labels: copyLabels(labels)}
+		c = &Counter{name: name, labels: copyLabels(labels)}
 		r.counters[k] = c
 	}
 	return c
 }
 
-func (r *registry) gauge(name string, labels map[string]string) *gauge {
+// Gauge returns (creating on first use) the gauge for (name, labels).
+func (r *Registry) Gauge(name string, labels map[string]string) *Gauge {
 	k := seriesKey(name, labels)
 	g := r.gauges[k]
 	if g == nil {
-		g = &gauge{name: name, labels: copyLabels(labels)}
+		g = &Gauge{name: name, labels: copyLabels(labels)}
 		r.gauges[k] = g
 	}
 	return g
 }
 
-func (r *registry) histogram(name string, labels map[string]string, bounds []float64) *histogram {
+// Histogram returns (creating on first use) the fixed-bucket histogram
+// for (name, labels). Callers must pass identical bounds on every lookup
+// of the same series.
+func (r *Registry) Histogram(name string, labels map[string]string, bounds []float64) *Histogram {
 	k := seriesKey(name, labels)
 	h := r.hists[k]
 	if h == nil {
-		h = &histogram{
+		h = &Histogram{
 			name:   name,
 			labels: copyLabels(labels),
 			bounds: bounds,

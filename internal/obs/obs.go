@@ -84,24 +84,24 @@ type stageState struct {
 // single-threaded (it runs inside the deterministic event loop) and is
 // attached with New before the simulation starts.
 type Observer struct {
-	reg   *registry
+	reg   *Registry
 	spans *spanBuilder
 	src   Sources
 
 	// Hot-path cached instruments.
-	requests     *counter
-	admitted     *counter
-	attempts     *counter
-	predicted    *counter
-	dropped      *counter
-	adaptUpdates *counter
-	convergences *counter
-	setupHist    *histogram
-	interruptOn  *histogram // predicted="true"
-	interruptOff *histogram // predicted="false"
-	roundsHist   *histogram
-	packetsHist  *histogram
-	events       map[eventbus.Kind]*counter
+	requests     *Counter
+	admitted     *Counter
+	attempts     *Counter
+	predicted    *Counter
+	dropped      *Counter
+	adaptUpdates *Counter
+	convergences *Counter
+	setupHist    *Histogram
+	interruptOn  *Histogram // predicted="true"
+	interruptOff *Histogram // predicted="false"
+	roundsHist   *Histogram
+	packetsHist  *Histogram
+	events       map[eventbus.Kind]*Counter
 
 	util  map[string]*stats.TimeWeighted
 	dwell map[string]*stageState
@@ -117,31 +117,31 @@ type Observer struct {
 // catch-all subscriber and pre-registers the core instrument set so the
 // snapshot shape is stable even for quiet runs.
 func New(bus *eventbus.Bus, src Sources, opts Options) *Observer {
-	reg := newRegistry()
+	reg := NewRegistry()
 	o := &Observer{
 		reg:    reg,
 		src:    src,
-		events: make(map[eventbus.Kind]*counter),
+		events: make(map[eventbus.Kind]*Counter),
 		util:   make(map[string]*stats.TimeWeighted),
 		dwell:  make(map[string]*stageState),
 
-		requests:     reg.counter("armnet_connection_requests_total", nil),
-		admitted:     reg.counter("armnet_connections_admitted_total", nil),
-		attempts:     reg.counter("armnet_handoff_attempts_total", nil),
-		predicted:    reg.counter("armnet_handoffs_predicted_total", nil),
-		dropped:      reg.counter("armnet_handoffs_dropped_total", nil),
-		adaptUpdates: reg.counter("armnet_adaptation_updates_total", nil),
-		convergences: reg.counter("armnet_maxmin_convergences_total", nil),
-		setupHist:    reg.histogram("armnet_setup_latency_seconds", nil, setupLatencyBounds),
-		interruptOn: reg.histogram("armnet_handoff_interruption_seconds",
+		requests:     reg.Counter("armnet_connection_requests_total", nil),
+		admitted:     reg.Counter("armnet_connections_admitted_total", nil),
+		attempts:     reg.Counter("armnet_handoff_attempts_total", nil),
+		predicted:    reg.Counter("armnet_handoffs_predicted_total", nil),
+		dropped:      reg.Counter("armnet_handoffs_dropped_total", nil),
+		adaptUpdates: reg.Counter("armnet_adaptation_updates_total", nil),
+		convergences: reg.Counter("armnet_maxmin_convergences_total", nil),
+		setupHist:    reg.Histogram("armnet_setup_latency_seconds", nil, setupLatencyBounds),
+		interruptOn: reg.Histogram("armnet_handoff_interruption_seconds",
 			map[string]string{"predicted": "true"}, interruptionBounds),
-		interruptOff: reg.histogram("armnet_handoff_interruption_seconds",
+		interruptOff: reg.Histogram("armnet_handoff_interruption_seconds",
 			map[string]string{"predicted": "false"}, interruptionBounds),
-		roundsHist:  reg.histogram("armnet_maxmin_rounds_to_converge", nil, maxminRoundBounds),
-		packetsHist: reg.histogram("armnet_maxmin_control_packets", nil, maxminPacketBounds),
+		roundsHist:  reg.Histogram("armnet_maxmin_rounds_to_converge", nil, maxminRoundBounds),
+		packetsHist: reg.Histogram("armnet_maxmin_control_packets", nil, maxminPacketBounds),
 	}
 	o.spans = newSpanBuilder(opts.Spans, func(name string) {
-		o.reg.counter("armnet_spans_total", map[string]string{"name": name}).inc()
+		o.reg.Counter("armnet_spans_total", map[string]string{"name": name}).Inc()
 	})
 	o.sampleUtil(0)
 	bus.Subscribe(o.observe)
@@ -153,48 +153,48 @@ func (o *Observer) observe(r eventbus.Record) {
 	k := r.Event.Kind()
 	ec := o.events[k]
 	if ec == nil {
-		ec = o.reg.counter("armnet_events_total", map[string]string{"kind": k.String()})
+		ec = o.reg.Counter("armnet_events_total", map[string]string{"kind": k.String()})
 		o.events[k] = ec
 	}
-	ec.inc()
+	ec.Inc()
 
 	o.spans.observe(r)
 
 	t := r.Time
 	switch ev := r.Event.(type) {
 	case eventbus.ConnectionRequested:
-		o.requests.inc()
+		o.requests.Inc()
 	case eventbus.ConnectionAdmitted:
-		o.admitted.inc()
+		o.admitted.Inc()
 		o.sampleUtil(t)
 	case eventbus.ConnectionBlocked:
 		reason := ev.Reason
 		if reason == "" {
 			reason = "unspecified"
 		}
-		o.reg.counter("armnet_connections_blocked_total", map[string]string{"reason": reason}).inc()
+		o.reg.Counter("armnet_connections_blocked_total", map[string]string{"reason": reason}).Inc()
 	case eventbus.ConnectionClosed:
 		o.sampleUtil(t)
 	case eventbus.HandoffAttempt:
-		o.attempts.inc()
+		o.attempts.Inc()
 		if ev.Predicted {
-			o.predicted.inc()
+			o.predicted.Inc()
 		}
 	case eventbus.HandoffOutcome:
 		if ev.Dropped {
-			o.dropped.inc()
+			o.dropped.Inc()
 		}
 		o.sampleUtil(t)
 	case eventbus.HandoffLatency:
 		if ev.Predicted {
-			o.interruptOn.observe(ev.Latency)
+			o.interruptOn.Observe(ev.Latency)
 		} else {
-			o.interruptOff.observe(ev.Latency)
+			o.interruptOff.Observe(ev.Latency)
 		}
 	case eventbus.SignalCommit:
-		o.setupHist.observe(ev.Latency)
+		o.setupHist.Observe(ev.Latency)
 	case eventbus.BandwidthChange:
-		o.adaptUpdates.inc()
+		o.adaptUpdates.Inc()
 	case eventbus.AdaptationRound:
 		if ev.Round > o.burstRounds {
 			o.burstRounds = ev.Round
@@ -209,9 +209,9 @@ func (o *Observer) observe(r eventbus.Record) {
 	case eventbus.OverloadStage:
 		o.stageChange(ev, t)
 	case eventbus.SetupShed:
-		o.reg.counter("armnet_setup_sheds_total", map[string]string{"reason": ev.Reason}).inc()
+		o.reg.Counter("armnet_setup_sheds_total", map[string]string{"reason": ev.Reason}).Inc()
 	case eventbus.BreakerState:
-		o.reg.counter("armnet_breaker_transitions_total", map[string]string{"to": ev.To}).inc()
+		o.reg.Counter("armnet_breaker_transitions_total", map[string]string{"to": ev.To}).Inc()
 	}
 }
 
@@ -221,17 +221,17 @@ func (o *Observer) observe(r eventbus.Record) {
 func (o *Observer) finishBurst(ev eventbus.MaxminConverged) {
 	msgs := ev.Messages - o.lastMessages
 	if msgs > 0 || o.burstRounds > 0 {
-		o.convergences.inc()
-		o.roundsHist.observe(float64(o.burstRounds))
-		o.packetsHist.observe(float64(msgs))
+		o.convergences.Inc()
+		o.roundsHist.Observe(float64(o.burstRounds))
+		o.packetsHist.Observe(float64(msgs))
 	}
 	o.lastSessions = ev.Sessions
 	o.lastMessages = ev.Messages
 	o.burstRounds = 0
 	if o.src.Bottlenecks != nil {
 		for _, lb := range o.src.Bottlenecks() {
-			o.reg.gauge("armnet_maxmin_bottleneck_set_size",
-				map[string]string{"link": lb.Link}).set(float64(lb.Size))
+			o.reg.Gauge("armnet_maxmin_bottleneck_set_size",
+				map[string]string{"link": lb.Link}).Set(float64(lb.Size))
 		}
 	}
 }
@@ -245,10 +245,10 @@ func (o *Observer) stageChange(ev eventbus.OverloadStage, t float64) {
 		st = &stageState{stage: ev.From}
 		o.dwell[ev.Cell] = st
 	}
-	o.reg.counter("armnet_overload_stage_dwell_seconds",
-		map[string]string{"cell": ev.Cell, "stage": st.stage}).add(t - st.since)
-	o.reg.counter("armnet_overload_transitions_total",
-		map[string]string{"cell": ev.Cell, "to": ev.To}).inc()
+	o.reg.Counter("armnet_overload_stage_dwell_seconds",
+		map[string]string{"cell": ev.Cell, "stage": st.stage}).Add(t - st.since)
+	o.reg.Counter("armnet_overload_transitions_total",
+		map[string]string{"cell": ev.Cell, "to": ev.To}).Inc()
 	st.stage = ev.To
 	st.since = t
 }
@@ -276,9 +276,9 @@ func (o *Observer) sampleUtil(t float64) {
 // observability never changes the event stream.
 func (o *Observer) RecordPrediction(level, class string, hit bool) {
 	labels := map[string]string{"level": level, "class": class}
-	o.reg.counter("armnet_predictions_total", labels).inc()
+	o.reg.Counter("armnet_predictions_total", labels).Inc()
 	if hit {
-		o.reg.counter("armnet_prediction_hits_total", labels).inc()
+		o.reg.Counter("armnet_prediction_hits_total", labels).Inc()
 	}
 }
 
@@ -296,26 +296,26 @@ func (o *Observer) Finish(end float64) {
 	o.sampleUtil(end)
 	for _, cell := range sortx.Keys(o.dwell) {
 		st := o.dwell[cell]
-		o.reg.counter("armnet_overload_stage_dwell_seconds",
-			map[string]string{"cell": cell, "stage": st.stage}).add(end - st.since)
+		o.reg.Counter("armnet_overload_stage_dwell_seconds",
+			map[string]string{"cell": cell, "stage": st.stage}).Add(end - st.since)
 	}
 	if o.src.OverloadArmed && o.src.CellUtilization != nil {
 		for _, cu := range o.src.CellUtilization() {
 			if o.dwell[cu.Cell] == nil {
-				o.reg.counter("armnet_overload_stage_dwell_seconds",
-					map[string]string{"cell": cu.Cell, "stage": "normal"}).add(end)
+				o.reg.Counter("armnet_overload_stage_dwell_seconds",
+					map[string]string{"cell": cu.Cell, "stage": "normal"}).Add(end)
 			}
 		}
 	}
 	for _, cell := range sortx.Keys(o.util) {
-		o.reg.gauge("armnet_cell_utilization_mean",
-			map[string]string{"cell": cell}).set(o.util[cell].Mean(end))
+		o.reg.Gauge("armnet_cell_utilization_mean",
+			map[string]string{"cell": cell}).Set(o.util[cell].Mean(end))
 	}
 }
 
 // Snapshot exports the current instrument state. Typically called after
 // Finish; safe at any time.
-func (o *Observer) Snapshot() *Snapshot { return o.reg.snapshot() }
+func (o *Observer) Snapshot() *Snapshot { return o.reg.Snapshot() }
 
 // SpanErr reports the first span-export write error, if any.
 func (o *Observer) SpanErr() error { return o.spans.Err() }

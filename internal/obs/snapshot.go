@@ -43,7 +43,7 @@ type Snapshot struct {
 }
 
 // snapshot exports the registry's current state.
-func (r *registry) snapshot() *Snapshot {
+func (r *Registry) Snapshot() *Snapshot {
 	s := &Snapshot{Runs: 1}
 	for _, k := range sortx.Keys(r.counters) {
 		c := r.counters[k]
@@ -268,6 +268,11 @@ func MergeAll(snaps []*Snapshot) (*Snapshot, error) {
 	}
 	return out, nil
 }
+
+// CounterTotal sums every counter series with the given name across its
+// label variants (e.g. armnet_wire_frames_tx_total over all frame
+// kinds). Zero when no series with that name exists.
+func (s *Snapshot) CounterTotal(name string) float64 { return s.counterValue(name) }
 
 // counterValue sums every counter series with the given name.
 func (s *Snapshot) counterValue(name string) float64 {

@@ -3,6 +3,7 @@ package testnet
 import (
 	"armnet/internal/clock"
 	"armnet/internal/netfaults"
+	"armnet/internal/obs/live"
 	"armnet/internal/wire"
 )
 
@@ -32,6 +33,9 @@ type faultyTransport struct {
 	// onRestart, when set, runs after a crashed agent comes back — the
 	// controller's re-LISTEN handshake (hello + state resync).
 	onRestart func(agent string)
+	// obs, when armed, counts every verdict by family; nil costs one
+	// pointer check per firing (not per frame — clean frames skip it).
+	obs *live.Controller
 
 	// PartitionDrops counts frames eaten by down agents; Crashes and
 	// Restarts count node lifecycle transitions the layer executed.
@@ -89,6 +93,7 @@ func (t *faultyTransport) Heal(agent string) { delete(t.down, agent) }
 func (t *faultyTransport) Crash(agent string) {
 	t.down[agent] = true
 	t.Crashes++
+	t.obs.Verdict("crash")
 	if n := t.nodes[agent]; n != nil {
 		n.Restart() // state is lost at the crash; the process slot stays
 	}
@@ -99,6 +104,7 @@ func (t *faultyTransport) Crash(agent string) {
 func (t *faultyTransport) Restart(agent string) {
 	delete(t.down, agent)
 	t.Restarts++
+	t.obs.Verdict("restart")
 	if t.onRestart != nil {
 		t.onRestart(agent)
 	}
@@ -115,16 +121,23 @@ func (t *faultyTransport) Down(agent string) bool { return t.down[agent] }
 func (t *faultyTransport) deliver(proto, link, agent string, fwd func() (bool, float64)) (bool, float64) {
 	if t.down[agent] {
 		t.PartitionDrops++
+		t.obs.Verdict("partition")
 		return true, 0
 	}
 	v := t.inj.Frame(proto, link)
 	if v.Drop {
+		t.obs.Verdict("drop")
 		return true, 0
 	}
+	if v.Delay > 0 {
+		t.obs.Verdict("delay")
+	}
 	if v.Reorder > 0 {
+		t.obs.Verdict("reorder")
 		t.clk.PostAfter(v.Reorder, func() {
 			if t.down[agent] {
 				t.PartitionDrops++
+				t.obs.Verdict("partition")
 				return
 			}
 			fwd()
@@ -133,6 +146,7 @@ func (t *faultyTransport) deliver(proto, link, agent string, fwd func() (bool, f
 	}
 	drop, delay := fwd()
 	if v.Dup && !drop {
+		t.obs.Verdict("dup")
 		fwd()
 	}
 	return drop, delay + v.Delay
@@ -168,9 +182,11 @@ func (t *faultyTransport) Abort(conn string, hop int, reason string) {
 		agent := t.cluster.Assign(link)
 		if t.down[agent] {
 			t.PartitionDrops++
+			t.obs.Verdict("partition")
 			return
 		}
 		if t.inj.Frame("signal", string(link)).Drop {
+			t.obs.Verdict("drop")
 			return
 		}
 	}
@@ -184,6 +200,7 @@ func (t *faultyTransport) Abort(conn string, hop int, reason string) {
 func (t *faultyTransport) Control(agent string, m wire.Message) bool {
 	if t.down[agent] {
 		t.PartitionDrops++
+		t.obs.Verdict("partition")
 		return false
 	}
 	return t.inner.Control(agent, m)

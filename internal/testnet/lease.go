@@ -68,13 +68,13 @@ func (lm *leaseManager) tick() {
 		conns := lm.r.connsVia(agent)
 		ok := true
 		if len(conns) == 0 {
-			ok = lm.r.tr.Control(agent, wire.LeaseRenew{TTL: ttl})
+			ok = lm.renew(agent, wire.LeaseRenew{TTL: ttl})
 		} else {
 			for _, conn := range conns {
 				renew := wire.LeaseRenew{
 					Conn: conn, Bandwidth: lm.r.routing.Reserve(conn), TTL: ttl,
 				}
-				if !lm.r.tr.Control(agent, renew) {
+				if !lm.renew(agent, renew) {
 					ok = false
 					break
 				}
@@ -96,6 +96,19 @@ func (lm *leaseManager) tick() {
 	}
 }
 
+// renew sends one renewal frame and records its round trip with the
+// live observability layer (the RTT is zero in sim time on loopback —
+// synchronous delivery — and the real ack wait on UDP).
+func (lm *leaseManager) renew(agent string, m wire.LeaseRenew) bool {
+	if lm.r.cfg.Obs == nil {
+		return lm.r.tr.Control(agent, m)
+	}
+	start := lm.r.clk.Now()
+	ok := lm.r.tr.Control(agent, m)
+	lm.r.cfg.Obs.LeaseRenew(agent, start, lm.r.clk.Now(), ok)
+	return ok
+}
+
 // reclaim releases every live reservation routed over a dead agent's
 // links: the ledger gets the bandwidth back, the rate protocol drops
 // the connection, and a HoldReclaimed event records each reclamation in
@@ -104,6 +117,7 @@ func (lm *leaseManager) reclaim(agent string) {
 	conns := lm.r.connsVia(agent)
 	for _, conn := range conns {
 		route := lm.r.live[conn]
+		lm.r.cfg.Obs.LeaseReclaim(conn)
 		eventbus.Pub(lm.r.bus, eventbus.HoldReclaimed{
 			Conn: conn, Link: "node:" + agent,
 			Amount: lm.r.routing.Reserve(conn), Reason: "wire-lease",

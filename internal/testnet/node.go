@@ -7,6 +7,7 @@ import (
 	"sort"
 
 	"armnet/internal/eventbus"
+	"armnet/internal/obs/live"
 	"armnet/internal/wire"
 )
 
@@ -39,7 +40,15 @@ type Node struct {
 	// cannot leak into the trace.
 	mirror map[string]float64
 	lease  map[string]float64
+
+	// obs, when armed via SetObs, records receive-side wire instruments;
+	// nil costs one pointer check per frame.
+	obs *live.NodeRecorder
 }
+
+// SetObs arms the node's live observability recorder (nil disarms). Set
+// it before serving; the recorder itself is safe for concurrent scrape.
+func (n *Node) SetObs(rec *live.NodeRecorder) { n.obs = rec }
 
 // NewNode builds a node stamping its trace from the given clock — the
 // shared simulator clock in loopback mode, the node's own wall clock in
@@ -64,8 +73,10 @@ func (n *Node) HandleFrame(frame []byte) (ack []byte, shutdown bool, err error) 
 	m, seq, err := wire.Decode(frame)
 	if err != nil {
 		n.Malformed++
+		n.obs.Malformed()
 		return nil, false, err
 	}
+	n.obs.FrameRx(m.WireType(), len(frame))
 	if _, isAck := m.(wire.Ack); !isAck {
 		n.Received++
 		proto, conn, hop := classify(m)
@@ -120,6 +131,7 @@ func (n *Node) applyState(m wire.Message) {
 // not the node's RAM).
 func (n *Node) Restart() {
 	n.Restarts++
+	n.obs.Restart()
 	n.mirror = make(map[string]float64)
 	n.lease = make(map[string]float64)
 }
@@ -158,6 +170,7 @@ func (n *Node) ServeUDP(pc *net.UDPConn) error {
 		}
 		if sz > wire.MaxFrame {
 			n.Oversized++
+			n.obs.Oversized()
 			continue
 		}
 		ack, shutdown, err := n.HandleFrame(buf[:sz])

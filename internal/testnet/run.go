@@ -15,6 +15,8 @@ import (
 	"armnet/internal/faults"
 	"armnet/internal/maxmin"
 	"armnet/internal/netfaults"
+	"armnet/internal/obs"
+	"armnet/internal/obs/live"
 	"armnet/internal/qos"
 	"armnet/internal/signal"
 	"armnet/internal/topology"
@@ -52,6 +54,12 @@ type Config struct {
 	// such races: a lease reclaim can tear a connection down before the
 	// script's own close reaches it.
 	Lenient bool
+	// Obs, when non-nil, arms the live observability layer: the recorder
+	// is fed from the transport/lease/fault hook seams and can be scraped
+	// concurrently by a telemetry server while the run is in flight. Nil
+	// costs one pointer check per hook site (pinned zero-perturbation by
+	// TestLiveObsZeroCost).
+	Obs *live.Controller
 	// hooks are timed callbacks with access to the runner — the soak
 	// harness uses them for epoch plan swaps, scripted node faults, and
 	// mid-run audits. Same-time hooks fire in slice order, after any
@@ -92,6 +100,11 @@ type Result struct {
 	Faults *FaultStats
 	// SkippedOps counts script operations ignored under Lenient.
 	SkippedOps int
+	// LiveSnapshot is the merged cluster view (controller + in-process
+	// node recorders) when Config.Obs was armed; nil otherwise.
+	LiveSnapshot *obs.Snapshot
+	// LiveSpans is the wire-span JSONL when Config.Obs was armed.
+	LiveSpans []byte
 }
 
 // FaultStats aggregates what the chaos layer actually did to a run.
@@ -120,6 +133,7 @@ type runner struct {
 	lease   *leaseManager
 	bus     *eventbus.Bus
 	nodes   map[string]*Node
+	nodeObs []*live.NodeRecorder
 
 	live    map[string]topology.Route
 	mmLinks map[topology.LinkID]bool
@@ -159,6 +173,7 @@ func Run(cfg Config) (*Result, error) {
 		clk = clock.Sim(sim)
 	}
 
+	cfg.Obs.SetNow(clk.Now)
 	r := &runner{
 		cfg: cfg, env: env, clk: clk,
 		cluster: NewCluster(env),
@@ -171,19 +186,29 @@ func Run(cfg Config) (*Result, error) {
 	case ModeLoopback:
 		r.nodes = make(map[string]*Node, len(r.cluster.Names))
 		for _, name := range r.cluster.Names {
-			r.nodes[name] = NewNode(name, clk)
+			n := NewNode(name, clk)
+			if cfg.Obs != nil {
+				nr := live.NewNodeRecorder(name)
+				n.SetObs(nr)
+				r.nodeObs = append(r.nodeObs, nr)
+			}
+			r.nodes[name] = n
 		}
-		r.tr = newLoopback(r.cluster, r.routing, r.nodes)
+		lt := newLoopback(r.cluster, r.routing, r.nodes)
+		lt.obs = cfg.Obs
+		r.tr = lt
 	case ModeUDP:
 		tr, err := dialUDP(r.cluster, r.routing, cfg.Peers, cfg.AckTimeout)
 		if err != nil {
 			return nil, err
 		}
+		tr.obs = cfg.Obs
 		r.tr = tr
 	}
 
 	if cfg.Faults != nil && r.tr != nil {
 		r.faulty = newFaulty(r.tr, cfg.Faults, cfg.FaultSeed, clk, r.routing, r.cluster, r.nodes)
+		r.faulty.obs = cfg.Obs
 		r.tr = r.faulty
 		armNodeFaults(clk, r.faulty, cfg.Faults.Nodes)
 	}
@@ -192,6 +217,7 @@ func Run(cfg Config) (*Result, error) {
 	r.bus = bus
 	var trace bytes.Buffer
 	rec := eventbus.AttachRecorder(bus, &trace)
+	cfg.Obs.Attach(bus)
 
 	r.lg = admission.NewLedger(env.Backbone)
 	ctl := admission.NewController(r.lg)
@@ -368,6 +394,7 @@ func (r *runner) handoff(st Step) {
 		r.failf("handoff of unknown conn %s", st.Conn)
 		return
 	}
+	r.cfg.Obs.HandoffBreak(st.Conn, string(route.Dest()), string(topology.AirNode(st.Cell)))
 	r.lg.Release(st.Conn, route)
 	r.proto.RemoveConn(st.Conn)
 	delete(r.live, st.Conn)
@@ -449,6 +476,16 @@ func (r *runner) collect(rec *eventbus.Recorder, trace *bytes.Buffer) *Result {
 		res.FrameDrops = r.tr.Drops()
 	}
 	res.SkippedOps = r.skipped
+	if r.cfg.Obs != nil {
+		r.cfg.Obs.Finish(r.clk.Now())
+		snap, err := live.ClusterSnapshot(r.cfg.Obs, r.nodeObs)
+		if err != nil {
+			viol = append(viol, fmt.Sprintf("live-obs: %v", err))
+			res.Violations = viol
+		}
+		res.LiveSnapshot = snap
+		res.LiveSpans = r.cfg.Obs.SpansJSONL()
+	}
 	if r.faulty != nil {
 		fs := &FaultStats{
 			PartitionDrops: r.faulty.PartitionDrops,
@@ -493,6 +530,7 @@ func (r *runner) connsVia(agent string) []string {
 // an agent that restarted or healed: re-hello, then replay every live
 // reservation crossing its links as Resync frames.
 func (r *runner) resyncAgent(agent string, ttl float64) {
+	r.cfg.Obs.Resync(agent)
 	r.tr.Control(agent, wire.Hello{Node: agent})
 	for _, conn := range r.connsVia(agent) {
 		r.tr.Control(agent, wire.Resync{

@@ -7,6 +7,8 @@ import (
 
 	"armnet/internal/faults"
 	"armnet/internal/netfaults"
+	"armnet/internal/obs"
+	"armnet/internal/obs/live"
 	"armnet/internal/randx"
 	"armnet/internal/topology"
 )
@@ -41,6 +43,11 @@ type SoakConfig struct {
 	// Out, when non-nil, receives the JSONL epoch reports as they are
 	// produced.
 	Out io.Writer
+	// Obs, when non-nil, is the live observability recorder to feed (a
+	// telemetry server can scrape it mid-soak). RunSoak always arms one —
+	// epoch reports carry per-epoch wire deltas either way — so leaving
+	// this nil only means nobody scrapes it live.
+	Obs *live.Controller
 }
 
 // Soak defaults.
@@ -54,27 +61,62 @@ const (
 	soakHealWindow = 4.0
 )
 
+// SoakSchema versions the epoch-report line format. Downstream scrapers
+// key on it; bump it whenever a field is added, removed, or changes
+// meaning. Struct marshaling fixes the field order, so lines with the
+// same schema are positionally stable.
+const SoakSchema = 1
+
 // EpochReport is one audited epoch boundary. Counters are cumulative
 // since run start, so reports are monotone and a diff of two
-// consecutive lines gives the per-epoch deltas.
+// consecutive lines gives the per-epoch deltas; the Wire block is the
+// exception — it is already the per-epoch delta of the live wire
+// snapshot, quantifying what that epoch's fault plan did to the wire.
 type EpochReport struct {
-	Epoch          int      `json:"epoch"`
-	Time           float64  `json:"time"`
-	Plan           int      `json:"plan"`
-	Commits        int      `json:"commits"`
-	Aborted        int      `json:"aborted"`
-	Live           int      `json:"live"`
-	Drops          int      `json:"drops"`
-	Dups           int      `json:"dups"`
-	Delays         int      `json:"delays"`
-	Reorders       int      `json:"reorders"`
-	PartitionDrops int      `json:"partition_drops"`
-	Crashes        int      `json:"crashes"`
-	Restarts       int      `json:"restarts"`
-	Reclaims       int      `json:"reclaims"`
-	PendingHolds   float64  `json:"pending_holds"`
-	Gap            float64  `json:"gap"`
-	Violations     []string `json:"violations"`
+	Schema         int        `json:"schema"`
+	Epoch          int        `json:"epoch"`
+	Time           float64    `json:"time"`
+	Plan           int        `json:"plan"`
+	Commits        int        `json:"commits"`
+	Aborted        int        `json:"aborted"`
+	Live           int        `json:"live"`
+	Drops          int        `json:"drops"`
+	Dups           int        `json:"dups"`
+	Delays         int        `json:"delays"`
+	Reorders       int        `json:"reorders"`
+	PartitionDrops int        `json:"partition_drops"`
+	Crashes        int        `json:"crashes"`
+	Restarts       int        `json:"restarts"`
+	Reclaims       int        `json:"reclaims"`
+	PendingHolds   float64    `json:"pending_holds"`
+	Gap            float64    `json:"gap"`
+	Wire           *WireDelta `json:"wire,omitempty"`
+	Violations     []string   `json:"violations"`
+}
+
+// WireDelta is one epoch's worth of live wire activity: the difference
+// between consecutive epoch-boundary cluster snapshots. Fixed fields
+// (not a map) keep the JSON ordering stable under SoakSchema.
+type WireDelta struct {
+	FramesTx    int `json:"frames_tx"`
+	FramesRx    int `json:"frames_rx"`
+	BytesTx     int `json:"bytes_tx"`
+	Acks        int `json:"acks"`
+	Unacked     int `json:"unacked"`
+	Retransmits int `json:"retransmits"`
+	Giveups     int `json:"giveups"`
+	LeaseRenews int `json:"lease_renews"`
+	LeaseMisses int `json:"lease_misses"`
+	Resyncs     int `json:"resyncs"`
+	Malformed   int `json:"malformed"`
+	// Verdicts split the fault layer's firings by family.
+	VerdictDrop      int `json:"verdict_drop"`
+	VerdictDup       int `json:"verdict_dup"`
+	VerdictDelay     int `json:"verdict_delay"`
+	VerdictReorder   int `json:"verdict_reorder"`
+	VerdictPartition int `json:"verdict_partition"`
+	VerdictCrash     int `json:"verdict_crash"`
+	VerdictRestart   int `json:"verdict_restart"`
 }
 
 // SoakResult is the full soak outcome.
@@ -135,9 +177,16 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		cfg.Readvertise = 0.75
 	}
 
+	// The live wire recorder is always armed: epoch reports quantify each
+	// plan's wire impact whether or not anyone scrapes it.
+	if cfg.Obs == nil {
+		cfg.Obs = live.NewController(nil)
+	}
+
 	active := cfg.EpochLen - soakHealWindow
 	res := &SoakResult{}
 	var hooks []soakHook
+	var prevSnap *obs.Snapshot
 	for e := 0; e < cfg.Epochs; e++ {
 		e := e
 		base := float64(e) * cfg.EpochLen
@@ -175,7 +224,11 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		}
 		hooks = append(hooks, soakHook{
 			at: base + cfg.EpochLen,
-			fn: func(r *runner) { res.Reports = append(res.Reports, epochAudit(r, e, pidx)) },
+			fn: func(r *runner) {
+				rep, cur := epochAudit(r, e, pidx, prevSnap)
+				prevSnap = cur
+				res.Reports = append(res.Reports, rep)
+			},
 		})
 	}
 
@@ -188,6 +241,7 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 		Lease:       cfg.Lease,
 		Readvertise: cfg.Readvertise,
 		Lenient:     true,
+		Obs:         cfg.Obs,
 		hooks:       hooks,
 	})
 	if err != nil {
@@ -218,8 +272,10 @@ func RunSoak(cfg SoakConfig) (*SoakResult, error) {
 // epochAudit runs the full fault oracle mid-run: zero pending holds,
 // ledger conservation, live-set consistency, and WaterFill convergence
 // — the same checks the final audit applies, here applied after every
-// healed epoch.
-func epochAudit(r *runner, epoch, plan int) EpochReport {
+// healed epoch. prev is the previous boundary's cluster snapshot (nil
+// at epoch 0); the current one is returned for the next boundary so the
+// Wire block always carries a true per-epoch delta.
+func epochAudit(r *runner, epoch, plan int, prev *obs.Snapshot) (EpochReport, *obs.Snapshot) {
 	aud := faults.Auditor{
 		Ledger:       r.lg,
 		PendingHolds: r.plane.PendingTotal,
@@ -234,6 +290,7 @@ func epochAudit(r *runner, epoch, plan int) EpochReport {
 		viol = []string{}
 	}
 	rep := EpochReport{
+		Schema:       SoakSchema,
 		Epoch:        epoch,
 		Time:         r.clk.Now(),
 		Plan:         plan,
@@ -253,7 +310,64 @@ func epochAudit(r *runner, epoch, plan int) EpochReport {
 	if r.lease != nil {
 		rep.Reclaims = r.lease.Reclaims
 	}
-	return rep
+	var cur *obs.Snapshot
+	if r.cfg.Obs != nil {
+		if snap, err := live.ClusterSnapshot(r.cfg.Obs, r.nodeObs); err == nil {
+			cur = snap
+			rep.Wire = wireDelta(cur, prev)
+		}
+	}
+	return rep, cur
+}
+
+// wireDelta subtracts two epoch-boundary cluster snapshots into the
+// fixed-field per-epoch block.
+func wireDelta(cur, prev *obs.Snapshot) *WireDelta {
+	d := func(name string) int {
+		v := cur.CounterTotal(name)
+		if prev != nil {
+			v -= prev.CounterTotal(name)
+		}
+		return int(v)
+	}
+	verdict := func(family string) int {
+		v := counterLabeled(cur, "armnet_wire_fault_verdicts_total", "family", family)
+		if prev != nil {
+			v -= counterLabeled(prev, "armnet_wire_fault_verdicts_total", "family", family)
+		}
+		return int(v)
+	}
+	return &WireDelta{
+		FramesTx:         d("armnet_wire_frames_tx_total"),
+		FramesRx:         d("armnet_wire_frames_rx_total"),
+		BytesTx:          d("armnet_wire_bytes_tx_total"),
+		Acks:             d("armnet_wire_acks_total"),
+		Unacked:          d("armnet_wire_unacked_total"),
+		Retransmits:      d("armnet_wire_retransmits_total"),
+		Giveups:          d("armnet_wire_giveups_total"),
+		LeaseRenews:      d("armnet_wire_lease_renews_total"),
+		LeaseMisses:      d("armnet_wire_lease_misses_total"),
+		Resyncs:          d("armnet_wire_resyncs_total"),
+		Malformed:        d("armnet_wire_malformed_total"),
+		VerdictDrop:      verdict("drop"),
+		VerdictDup:       verdict("dup"),
+		VerdictDelay:     verdict("delay"),
+		VerdictReorder:   verdict("reorder"),
+		VerdictPartition: verdict("partition"),
+		VerdictCrash:     verdict("crash"),
+		VerdictRestart:   verdict("restart"),
+	}
+}
+
+// counterLabeled sums the counter series matching (name, one label).
+func counterLabeled(s *obs.Snapshot, name, key, val string) float64 {
+	total := 0.0
+	for _, c := range s.Counters {
+		if c.Name == name && c.Labels[key] == val {
+			total += c.Value
+		}
+	}
+	return total
 }
 
 // soakScript generates the epoch workload: 3–5 setups early in each

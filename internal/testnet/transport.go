@@ -5,6 +5,7 @@ import (
 	"net"
 	"time"
 
+	"armnet/internal/obs/live"
 	"armnet/internal/topology"
 	"armnet/internal/wire"
 )
@@ -99,6 +100,9 @@ type loopbackTransport struct {
 	buf     []byte
 	sent    int
 	errs    []string
+	// obs, when armed, records every frame handed to an agent; nil costs
+	// one pointer check per send.
+	obs *live.Controller
 }
 
 func newLoopback(cluster *Cluster, routing *Routing, nodes map[string]*Node) *loopbackTransport {
@@ -116,34 +120,43 @@ func (t *loopbackTransport) failf(format string, args ...any) {
 // acked it — always true on the healthy loopback path; failures are
 // also latched as fabric errors.
 func (t *loopbackTransport) send(agent string, m wire.Message) bool {
+	acked, size := t.exchange(agent, m)
+	t.obs.FrameTx(agent, m, size, acked)
+	return acked
+}
+
+// exchange is the delivery body: encode, hand to the agent, verify the
+// ack. Split from send so the observability hook sees every outcome.
+func (t *loopbackTransport) exchange(agent string, m wire.Message) (bool, int) {
 	n := t.nodes[agent]
 	if n == nil {
 		t.failf("no node agent %q", agent)
-		return false
+		return false, 0
 	}
 	t.seq++
 	frame, err := wire.AppendFrame(t.buf[:0], t.seq, m)
 	if err != nil {
 		t.failf("encode %T: %v", m, err)
-		return false
+		return false, 0
 	}
+	size := len(frame)
 	t.buf = frame[:0]
 	ack, _, err := n.HandleFrame(frame)
 	if err != nil {
 		t.failf("%s rejected %T: %v", agent, m, err)
-		return false
+		return false, size
 	}
 	am, _, err := wire.Decode(ack)
 	if err != nil {
 		t.failf("%s ack undecodable: %v", agent, err)
-		return false
+		return false, size
 	}
 	if a, ok := am.(wire.Ack); !ok || a.AckSeq != t.seq {
 		t.failf("%s acked %v, want %d", agent, am, t.seq)
-		return false
+		return false, size
 	}
 	t.sent++
-	return true
+	return true, size
 }
 
 func (t *loopbackTransport) Control(agent string, m wire.Message) bool {
@@ -203,6 +216,9 @@ type udpTransport struct {
 	sent    int
 	drops   int
 	errs    []string
+	// obs, when armed, records every frame handed to an agent; nil costs
+	// one pointer check per send.
+	obs *live.Controller
 }
 
 // DefaultAckTimeout bounds the wait for a node ack; localhost round
@@ -250,34 +266,43 @@ func (t *udpTransport) failf(format string, args ...any) {
 // send transmits one frame and waits for its ack; false means the ack
 // never arrived within the timeout.
 func (t *udpTransport) send(agent string, m wire.Message) bool {
+	acked, size := t.exchange(agent, m)
+	t.obs.FrameTx(agent, m, size, acked)
+	return acked
+}
+
+// exchange is the delivery body: encode, transmit, block for the ack.
+// Split from send so the observability hook sees every outcome.
+func (t *udpTransport) exchange(agent string, m wire.Message) (bool, int) {
 	addr := t.peers[agent]
 	if addr == nil {
 		t.failf("no node agent %q", agent)
-		return false
+		return false, 0
 	}
 	t.seq++
 	frame, err := wire.AppendFrame(t.sbuf[:0], t.seq, m)
 	if err != nil {
 		t.failf("encode %T: %v", m, err)
-		return false
+		return false, 0
 	}
+	size := len(frame)
 	t.sbuf = frame[:0]
 	if _, err := t.pc.WriteToUDP(frame, addr); err != nil {
 		t.failf("send to %s: %v", agent, err)
 		t.drops++
-		return false
+		return false, size
 	}
 	deadline := time.Now().Add(t.timeout)
 	for {
 		if err := t.pc.SetReadDeadline(deadline); err != nil {
 			t.failf("deadline: %v", err)
 			t.drops++
-			return false
+			return false, size
 		}
 		sz, _, err := t.pc.ReadFromUDP(t.rbuf)
 		if err != nil {
 			t.drops++
-			return false
+			return false, size
 		}
 		am, _, err := wire.Decode(t.rbuf[:sz])
 		if err != nil {
@@ -289,7 +314,7 @@ func (t *udpTransport) send(agent string, m wire.Message) bool {
 		}
 		if a.AckSeq == t.seq {
 			t.sent++
-			return true
+			return true, size
 		}
 		// A stale ack from an earlier timed-out frame: keep reading.
 	}
